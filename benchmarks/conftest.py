@@ -1,0 +1,47 @@
+"""Shared fixtures and scaled-down parameters for the benchmark suite.
+
+Pure Python cannot run the paper's exact block sizes (8-20 GMW parties
+with million-gate circuits) in benchmark time, so every benchmark runs a
+*scaled* parameter sweep — enough points to exhibit the paper's shapes
+(linear in block size / D / N, quadratic end-to-end in k, O(N^3) naive
+baseline) — and prints the paper's reported regime next to ours. The
+Figure 6 benchmark closes the loop by projecting to full scale with the
+paper's own microbenchmark-calibration method.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.crypto.group import TOY_GROUP_64
+from repro.crypto.rng import DeterministicRNG
+from repro.mpc.fixedpoint import FixedPointFormat
+
+#: Block sizes swept by the microbenchmarks (paper: 8, 12, 16, 20).
+BLOCK_SIZES = (2, 3, 4, 5)
+#: Degree bounds swept (paper: 10, 40, 70, 100).
+DEGREE_BOUNDS = (1, 2, 4, 6)
+#: Vertex counts for aggregation sweeps (paper: 50, 100, 150, 200).
+AGG_SIZES = (4, 8, 12, 16)
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRNG("bench")
+
+
+@pytest.fixture
+def fmt():
+    return FixedPointFormat(16, 8)
+
+
+@pytest.fixture
+def bench_group():
+    """Crypto group for benchmark runs: the toy group keeps sweeps fast;
+    group-size scaling is reported separately by the transfer bench."""
+    return TOY_GROUP_64

@@ -1,0 +1,56 @@
+"""Table emission for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation and prints it in a uniform format, bypassing pytest's capture
+so the series appear in the benchmark run's output (and in
+``bench_output.txt``). Rows are also appended to ``bench_results.txt`` at
+the repository root for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Iterable, Sequence
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "bench_results.txt")
+
+
+def emit_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> None:
+    """Print a fixed-width table to real stdout and log it to disk."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines = ["", "=" * 72, title, "=" * 72]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    for note in notes:
+        lines.append(f"  note: {note}")
+    text = "\n".join(lines) + "\n"
+
+    # pytest replaces sys.stdout; __stdout__ is the real terminal stream.
+    stream = sys.__stdout__ if sys.__stdout__ is not None else sys.stdout
+    stream.write(text)
+    stream.flush()
+    with open(RESULTS_PATH, "a", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)

@@ -1,0 +1,75 @@
+"""repro — a from-scratch reproduction of DStress (EuroSys 2017).
+
+DStress executes vertex programs over graphs that are physically
+distributed across mutually distrustful participants, guaranteeing value,
+edge and (differentially private) output privacy. The headline use case is
+measuring systemic risk in financial networks without any bank revealing
+its books.
+
+Quickstart::
+
+    from repro import (
+        Bank, FinancialNetwork, EisenbergNoeProgram,
+        DStressConfig, SecureEngine, PlaintextEngine,
+    )
+
+    net = FinancialNetwork()
+    for i in range(4):
+        net.add_bank(Bank(i, cash=1.0))
+    net.add_debt(0, 1, 2.0)
+    ...
+    program = EisenbergNoeProgram()
+    graph = net.to_en_graph(degree_bound=2)
+    result = SecureEngine(program, DStressConfig()).run(graph, iterations=4)
+    print(result.noisy_output)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-reproduction results.
+"""
+
+from repro.core import (
+    NO_OP_MESSAGE,
+    DistributedGraph,
+    PlaintextEngine,
+    PlaintextRun,
+    ProgramSpec,
+    VertexProgram,
+    VertexView,
+)
+from repro.core.config import DStressConfig
+from repro.core.secure_engine import SecureEngine, SecureRunResult
+from repro.finance import (
+    Bank,
+    EisenbergNoeProgram,
+    ElliottGolubJacksonProgram,
+    FinancialNetwork,
+    clearing_vector,
+    egj_fixpoint,
+)
+from repro.mpc import FixedPointFormat
+from repro.privacy import DollarPrivacySpec, PrivacyAccountant
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bank",
+    "DStressConfig",
+    "DistributedGraph",
+    "DollarPrivacySpec",
+    "EisenbergNoeProgram",
+    "ElliottGolubJacksonProgram",
+    "FinancialNetwork",
+    "FixedPointFormat",
+    "NO_OP_MESSAGE",
+    "PlaintextEngine",
+    "PlaintextRun",
+    "PrivacyAccountant",
+    "ProgramSpec",
+    "SecureEngine",
+    "SecureRunResult",
+    "VertexProgram",
+    "VertexView",
+    "clearing_vector",
+    "egj_fixpoint",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""DStress core: programming model, plaintext and secure engines."""
+
+from repro.core.engine import PlaintextEngine, PlaintextRun
+from repro.core.graph import DistributedGraph, VertexView
+from repro.core.program import NO_OP_MESSAGE, ProgramSpec, VertexProgram
+
+__all__ = [
+    "DistributedGraph",
+    "NO_OP_MESSAGE",
+    "PlaintextEngine",
+    "PlaintextRun",
+    "ProgramSpec",
+    "VertexProgram",
+    "VertexView",
+]

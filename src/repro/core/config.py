@@ -1,0 +1,107 @@
+"""Runtime configuration for a DStress deployment."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.group import GROUP_256, CyclicGroup
+from repro.exceptions import ConfigurationError
+from repro.mpc.fixedpoint import FixedPointFormat
+
+__all__ = ["DStressConfig"]
+
+
+@dataclass
+class DStressConfig:
+    """Everything a DStress run needs beyond the program and graph.
+
+    Attributes
+    ----------
+    collusion_bound:
+        ``k`` (§3.2 assumption 3): blocks have ``k + 1`` members; any
+        coalition of at most ``k`` nodes learns nothing.
+    fmt:
+        Fixed-point format of state registers and messages (``L`` bits).
+    group:
+        DDH group for ElGamal and OT accounting. The paper deployed
+        secp384r1; the default 256-bit Schnorr group keeps pure-Python
+        runs fast (see DESIGN.md).
+    dlog_half_width:
+        Decryption window of the exponential-ElGamal table — ``N_l / 2``
+        in the Appendix B failure analysis.
+    edge_noise_alpha:
+        Parameter of the two-sided geometric noise in the transfer
+        protocol; values near 1 mean more noise (Appendix B). ``None``
+        disables edge noising (strawman #3 mode, for ablations).
+    output_epsilon:
+        Per-release epsilon for the final Laplace/geometric noising.
+    noise_magnitude_bits / noise_precision_bits:
+        Size of the in-MPC noise sampler (see
+        :func:`repro.mpc.noise_circuit.build_geometric_bits_sampler`).
+    aggregation_fanout:
+        Max inputs per aggregation block; more vertices trigger the
+        hierarchical tree of §3.6 (the paper projects with fanout 100).
+    gmw_mode:
+        ``"ot"`` (the paper's GMW) or ``"beaver"`` (dealer ablation).
+    pad_transfers:
+        When True, every vertex runs a transfer for all ``D`` slots each
+        round (self-sending no-ops on unused slots), hiding vertex degrees
+        from block members at ~``D/avg_degree`` times the communication
+        cost. The paper transfers only on real edges (§3.6), so the
+        default is False.
+    """
+
+    collusion_bound: int = 2
+    fmt: FixedPointFormat = field(default_factory=FixedPointFormat)
+    group: CyclicGroup = field(default_factory=lambda: GROUP_256)
+    dlog_half_width: int = 4096
+    edge_noise_alpha: Optional[float] = 0.5
+    output_epsilon: float = 0.23
+    noise_magnitude_bits: Optional[int] = None
+    noise_precision_bits: int = 16
+    aggregation_fanout: int = 100
+    gmw_mode: str = "ot"
+    pad_transfers: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.collusion_bound < 1:
+            raise ConfigurationError("collusion bound k must be at least 1")
+        if self.dlog_half_width < self.block_size:
+            raise ConfigurationError("dlog window cannot even hold a noiseless sum")
+        if self.output_epsilon <= 0:
+            raise ConfigurationError("output epsilon must be positive")
+        if self.edge_noise_alpha is not None and not 0.0 < self.edge_noise_alpha < 1.0:
+            raise ConfigurationError("edge noise alpha must lie in (0, 1)")
+        if self.aggregation_fanout < 2:
+            raise ConfigurationError("aggregation fanout must be at least 2")
+
+    @property
+    def block_size(self) -> int:
+        """``k + 1``."""
+        return self.collusion_bound + 1
+
+    def noise_alpha_for(self, sensitivity: float) -> float:
+        """Geometric parameter of the output noise in raw LSB units.
+
+        The discretized Laplace with scale ``s / eps`` (in units of T)
+        becomes a two-sided geometric over LSBs with
+        ``alpha = exp(-eps * resolution / s)``.
+        """
+        if sensitivity <= 0:
+            raise ConfigurationError("sensitivity must be positive")
+        return math.exp(-self.output_epsilon * self.fmt.resolution / sensitivity)
+
+    def noise_magnitude_bits_for(self, sensitivity: float) -> int:
+        """Magnitude bits covering the noise distribution's useful range.
+
+        The truncated sampler covers ``[0, 2^bits)``; we size it to hold
+        about 16 scale-lengths of the geometric so truncation is a
+        ~``e^-16`` tail event.
+        """
+        if self.noise_magnitude_bits is not None:
+            return self.noise_magnitude_bits
+        scale_lsb = sensitivity / (self.output_epsilon * self.fmt.resolution)
+        return max(4, math.ceil(math.log2(scale_lsb * 16.0)))

@@ -1,0 +1,162 @@
+"""Plaintext reference engine for vertex programs.
+
+Runs a :class:`~repro.core.program.VertexProgram` in the clear, in two
+modes:
+
+* **float** — plain Python floats; the semantic reference for the model
+  (what a trusted all-seeing regulator would compute);
+* **fixed** — evaluates the *same Boolean circuits* the secure engine runs
+  under MPC, but in the clear. The secure engine's pre-noise output must
+  equal this mode bit-for-bit (asserted by the integration tests), and the
+  gap between float and fixed mode is the quantization error.
+
+The engine follows §3.6 exactly: an initialization step, ``n`` computation
++ communication steps, one final computation step, then aggregation of the
+designated register (noising is the caller's concern — this engine is the
+oracle, so it returns the exact aggregate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.graph import DistributedGraph
+from repro.core.program import NO_OP_MESSAGE, VertexProgram
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PlaintextRun", "PlaintextEngine"]
+
+
+@dataclass
+class PlaintextRun:
+    """Result of a plaintext execution."""
+
+    aggregate: float
+    final_states: Dict[int, Dict[str, float]]
+    #: per-iteration aggregate of the designated register (convergence data)
+    trajectory: List[float] = field(default_factory=list)
+
+
+class PlaintextEngine:
+    """Executes vertex programs in the clear."""
+
+    def __init__(self, program: VertexProgram) -> None:
+        self.program = program
+
+    # -- float mode -------------------------------------------------------------
+
+    def run_float(self, graph: DistributedGraph, iterations: int) -> PlaintextRun:
+        """Reference execution over floats."""
+        program = self.program
+        degree_bound = graph.degree_bound
+        states = {
+            v.vertex_id: program.initial_state(v, degree_bound) for v in graph.vertices()
+        }
+        inboxes: Dict[int, List[float]] = {
+            v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
+        }
+        trajectory: List[float] = []
+
+        # n computation+communication steps, then one final computation step.
+        for _ in range(iterations):
+            outboxes: Dict[int, List[float]] = {}
+            for vertex_id in graph.vertex_ids:
+                states[vertex_id], outboxes[vertex_id] = program.float_update(
+                    states[vertex_id], inboxes[vertex_id], degree_bound
+                )
+            inboxes = self._route_float(graph, outboxes)
+            trajectory.append(self._aggregate_float(states))
+        for vertex_id in graph.vertex_ids:
+            states[vertex_id], _ = program.float_update(
+                states[vertex_id], inboxes[vertex_id], degree_bound
+            )
+        trajectory.append(self._aggregate_float(states))
+
+        return PlaintextRun(
+            aggregate=self._aggregate_float(states),
+            final_states=states,
+            trajectory=trajectory,
+        )
+
+    def _route_float(
+        self, graph: DistributedGraph, outboxes: Dict[int, List[float]]
+    ) -> Dict[int, List[float]]:
+        """Deliver out-slot messages to the matching in-slots (§3.6)."""
+        inboxes = {v: [NO_OP_MESSAGE] * graph.degree_bound for v in graph.vertex_ids}
+        for view in graph.vertices():
+            for out_slot, neighbor in enumerate(view.out_neighbors):
+                in_slot = graph.vertex(neighbor).in_slot(view.vertex_id)
+                inboxes[neighbor][in_slot] = outboxes[view.vertex_id][out_slot]
+        return inboxes
+
+    def _aggregate_float(self, states: Dict[int, Dict[str, float]]) -> float:
+        register = self.program.aggregate_register
+        return sum(state[register] for state in states.values())
+
+    # -- fixed-point circuit mode --------------------------------------------------
+
+    def run_fixed(self, graph: DistributedGraph, iterations: int) -> PlaintextRun:
+        """Clear evaluation of the MPC circuits — the secure-engine oracle.
+
+        Aggregate and states are reported in decoded (real-valued) units;
+        the raw aggregate is an exact sum of raw registers, mirroring the
+        aggregation circuit.
+        """
+        program = self.program
+        fmt = program.fmt
+        degree_bound = graph.degree_bound
+        circuit = program.build_update_circuit(degree_bound)
+        registers = program.state_registers(degree_bound)
+
+        raw_states: Dict[int, Dict[str, int]] = {}
+        for view in graph.vertices():
+            state = program.initial_state(view, degree_bound)
+            missing = set(registers) - set(state)
+            if missing:
+                raise ConfigurationError(f"initial state missing registers {missing}")
+            raw_states[view.vertex_id] = program.encode_state(state)
+
+        raw_no_op = fmt.encode(NO_OP_MESSAGE)
+        inboxes: Dict[int, List[int]] = {
+            v: [raw_no_op] * degree_bound for v in graph.vertex_ids
+        }
+        trajectory: List[float] = []
+
+        for _ in range(iterations):
+            outboxes: Dict[int, List[int]] = {}
+            for vertex_id in graph.vertex_ids:
+                raw_states[vertex_id], outboxes[vertex_id] = program.circuit_update(
+                    raw_states[vertex_id], inboxes[vertex_id], degree_bound, circuit
+                )
+            inboxes = self._route_raw(graph, outboxes, raw_no_op)
+            trajectory.append(self._aggregate_raw(raw_states))
+        for vertex_id in graph.vertex_ids:
+            raw_states[vertex_id], _ = program.circuit_update(
+                raw_states[vertex_id], inboxes[vertex_id], degree_bound, circuit
+            )
+        trajectory.append(self._aggregate_raw(raw_states))
+
+        return PlaintextRun(
+            aggregate=self._aggregate_raw(raw_states),
+            final_states={
+                vertex_id: program.decode_state(raw)
+                for vertex_id, raw in raw_states.items()
+            },
+            trajectory=trajectory,
+        )
+
+    def _route_raw(
+        self, graph: DistributedGraph, outboxes: Dict[int, List[int]], raw_no_op: int
+    ) -> Dict[int, List[int]]:
+        inboxes = {v: [raw_no_op] * graph.degree_bound for v in graph.vertex_ids}
+        for view in graph.vertices():
+            for out_slot, neighbor in enumerate(view.out_neighbors):
+                in_slot = graph.vertex(neighbor).in_slot(view.vertex_id)
+                inboxes[neighbor][in_slot] = outboxes[view.vertex_id][out_slot]
+        return inboxes
+
+    def _aggregate_raw(self, raw_states: Dict[int, Dict[str, int]]) -> float:
+        register = self.program.aggregate_register
+        total = sum(raw[register] for raw in raw_states.values())
+        return self.program.fmt.decode(total)

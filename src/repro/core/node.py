@@ -1,0 +1,56 @@
+"""A simulated participant node.
+
+Each participant runs one node (§3.3): it owns a vertex's private data,
+holds ElGamal key material, participates in the blocks it was assigned to,
+and meters its traffic. The engine orchestrates; the node is deliberately
+a passive container of per-participant secrets so that tests can reason
+about exactly which node knows what.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.crypto.elgamal import ExponentialElGamal
+from repro.crypto.rng import DeterministicRNG
+from repro.transfer.certificates import BlockCertificate, MemberKeys, generate_member_keys
+
+__all__ = ["SimulatedNode"]
+
+
+@dataclass
+class SimulatedNode:
+    """One participant: keys, neighbor keys, and received certificates."""
+
+    node_id: int
+    member_keys: MemberKeys
+    #: scalar neighbor keys, one per certificate slot (``D`` of them, §3.4)
+    neighbor_keys: List[int] = field(default_factory=list)
+    #: certificates received from neighbors, keyed by the *neighbor's* id
+    #: (or by ``("self", slot)`` for retained leftovers in padded mode);
+    #: used when this node's block sends a message to that neighbor
+    neighbor_certificates: Dict[object, BlockCertificate] = field(default_factory=dict)
+    #: ids of the blocks this node is a member of (fills in during setup)
+    block_memberships: List[int] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        node_id: int,
+        elgamal: ExponentialElGamal,
+        message_bits: int,
+        degree_bound: int,
+        rng: DeterministicRNG,
+    ) -> "SimulatedNode":
+        """Generate a node's key material (the §3.4 per-node inputs)."""
+        node_rng = rng.fork(f"node-{node_id}")
+        member_keys = generate_member_keys(elgamal, message_bits, node_rng)
+        neighbor_keys = [
+            elgamal.group.random_scalar(node_rng) for _ in range(degree_bound)
+        ]
+        return cls(
+            node_id=node_id,
+            member_keys=member_keys,
+            neighbor_keys=neighbor_keys,
+        )

@@ -1,0 +1,563 @@
+"""The DStress secure execution engine (§3.3–§3.6).
+
+Runs a vertex program over a distributed graph such that no coalition of
+at most ``k`` nodes learns anything beyond the differentially-private
+output:
+
+1. **Setup** — the trusted party assigns blocks and issues block
+   certificates; each node forwards certificates to its in-neighbors.
+2. **Initialization** — every node XOR-shares its vertex's initial state
+   (and ``D`` no-op inbox slots) among its block.
+3. **Computation steps** — each block evaluates the program's update
+   circuit under GMW; inputs and outputs stay shared.
+4. **Communication steps** — each outgoing message's shares move along the
+   edge through the §3.5 transfer protocol (subshares, exponential
+   ElGamal, even geometric noise), landing as fresh shares at the
+   receiving block.
+5. **Aggregation + noising** — contribution registers are re-shared to
+   the aggregation tree; the root block samples two-sided geometric noise
+   inside MPC (Dwork-style bit sampler) and reveals only the noised sum.
+
+All network traffic is metered per node; timings are recorded per phase.
+The engine is a faithful simulation: every byte it reports corresponds to
+a protocol message of the real deployment.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.aggregation import AggregationPlan, plan_groups, reshare_word
+from repro.core.config import DStressConfig
+from repro.core.graph import DistributedGraph
+from repro.core.node import SimulatedNode
+from repro.core.program import NO_OP_MESSAGE, VertexProgram
+from repro.core.setup import AGGREGATION_BLOCK_ID, BlockAssignment, TrustedParty
+from repro.crypto.elgamal import ExponentialElGamal
+from repro.crypto.ot import SimulatedObliviousTransfer
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import ConfigurationError
+from repro.mpc.gmw import GMWEngine
+from repro.mpc.noise_circuit import (
+    build_noised_sum_bits_circuit,
+    build_partial_sum_circuit,
+    geometric_bits_seed_width,
+)
+from repro.privacy.budget import PrivacyAccountant
+from repro.privacy.edge_privacy import per_iteration_epsilon, transfer_sensitivity
+from repro.sharing.xor import reconstruct_value, share_value
+from repro.simulation.netsim import PhaseTimer, TrafficMeter
+from repro.transfer.protocol import MessageTransferProtocol
+
+__all__ = ["SecureRunResult", "SecureEngine"]
+
+
+@dataclass
+class SecureRunResult:
+    """Everything a DStress run produces.
+
+    ``noisy_output`` is the only value a real deployment would release.
+    ``pre_noise_output`` and ``noise_raw`` exist so tests and benchmarks
+    can verify correctness and noise calibration; they are reconstructed
+    by the simulation harness, not by any protocol participant.
+    """
+
+    noisy_output: float
+    pre_noise_output: float
+    noise_raw: int
+    iterations: int
+    traffic: TrafficMeter
+    phases: PhaseTimer
+    num_vertices: int
+    num_edges: int
+    transfer_count: int = 0
+    gmw_ot_count: int = 0
+    gmw_and_gates_per_step: int = 0
+    output_epsilon: float = 0.0
+    edge_epsilon_per_iteration: Optional[float] = None
+    aggregation_levels: int = 1
+
+    @property
+    def mean_traffic_per_node(self) -> float:
+        return self.traffic.mean_node_total_bytes()
+
+
+class SecureEngine:
+    """Executes vertex programs under the full DStress protocol stack."""
+
+    def __init__(self, program: VertexProgram, config: Optional[DStressConfig] = None) -> None:
+        self.program = program
+        self.config = config if config is not None else DStressConfig()
+        if program.fmt.total_bits != self.config.fmt.total_bits:
+            raise ConfigurationError("program and config fixed-point formats disagree")
+        self.elgamal = ExponentialElGamal(
+            self.config.group, dlog_half_width=self.config.dlog_half_width
+        )
+        self.transfer = MessageTransferProtocol(
+            self.elgamal,
+            message_bits=self.config.fmt.total_bits,
+            noise_alpha=self.config.edge_noise_alpha,
+        )
+
+    # ------------------------------------------------------------------ run --
+
+    def run(
+        self,
+        graph: DistributedGraph,
+        iterations: int,
+        accountant: Optional[PrivacyAccountant] = None,
+        bucket_bounds: Optional[List[int]] = None,
+    ) -> SecureRunResult:
+        """Execute the program for ``iterations`` rounds.
+
+        ``bucket_bounds`` enables the §3.7 degree-bucket optimization:
+        instead of padding every vertex's circuit to the global degree
+        bound D, each vertex uses the smallest bucket that fits its
+        degree (e.g. ``[10, 100]``). This reveals each vertex's bucket —
+        roughly its size class, which the paper notes is acceptable — in
+        exchange for much cheaper MPC steps at low-degree vertices.
+        """
+        config = self.config
+        program = self.program
+        fmt = program.fmt
+        bits = fmt.total_bits
+        word_bytes = (bits + 7) / 8.0
+        rng = DeterministicRNG(config.seed)
+        meter = TrafficMeter()
+        phases = PhaseTimer()
+        vertex_bound = self._assign_buckets(graph, bucket_bounds)
+
+        if accountant is not None:
+            accountant.charge(config.output_epsilon, label=f"{program.name}-release")
+
+        # ---------------------------------------------------------- setup --
+        started = time.perf_counter()
+        nodes: Dict[int, SimulatedNode] = {
+            v: SimulatedNode.create(v, self.elgamal, bits, graph.degree_bound, rng)
+            for v in graph.vertex_ids
+        }
+        tp = TrustedParty(self.elgamal, rng)
+        assignment = tp.assign_blocks(graph.vertex_ids, config.collusion_bound)
+        certificates = {
+            v: tp.build_block_certificates(
+                v,
+                [nodes[m].member_keys for m in assignment.blocks[v]],
+                nodes[v].neighbor_keys,
+            )
+            for v in graph.vertex_ids
+        }
+        # Each node forwards certificate `slot` of its own block to the
+        # in-neighbor on that slot; leftover slots stay with the owner
+        # (used for padded self-transfers when configured).
+        for view in graph.vertices():
+            for slot, neighbor in enumerate(view.in_neighbors):
+                nodes[neighbor].neighbor_certificates[view.vertex_id] = certificates[
+                    view.vertex_id
+                ][slot]
+                cert_bytes = (
+                    config.block_size * bits * self.elgamal.group.element_size_bytes
+                )
+                meter.record_send(view.vertex_id, neighbor, cert_bytes)
+        phases.add("setup", time.perf_counter() - started)
+
+        # --------------------------------------------------------- init --
+        started = time.perf_counter()
+        block_size = config.block_size
+        state_shares: Dict[int, Dict[str, List[int]]] = {}
+        inbox_shares: Dict[int, List[List[int]]] = {}
+        raw_no_op = fmt.encode(NO_OP_MESSAGE)
+        for view in graph.vertices():
+            v = view.vertex_id
+            bound = vertex_bound[v]
+            initial = program.initial_state(view, bound)
+            raw = program.encode_state(initial)
+            shares: Dict[str, List[int]] = {}
+            for reg in program.state_registers(bound):
+                shares[reg] = share_value(fmt.to_unsigned(raw[reg]), bits, block_size, rng)
+                self._meter_share_distribution(meter, v, assignment.blocks[v], word_bytes)
+            state_shares[v] = shares
+            inbox_shares[v] = []
+            for _ in range(bound):
+                inbox_shares[v].append(
+                    share_value(fmt.to_unsigned(raw_no_op), bits, block_size, rng)
+                )
+                self._meter_share_distribution(meter, v, assignment.blocks[v], word_bytes)
+        phases.add("initialization", time.perf_counter() - started)
+
+        # ------------------------------------------------- main iterations --
+        circuits = {
+            bound: program.build_update_circuit(bound)
+            for bound in sorted(set(vertex_bound.values()))
+        }
+        circuit_stats = circuits[max(circuits)].stats()
+        gmw = GMWEngine(
+            block_size,
+            ot=SimulatedObliviousTransfer(config.group),
+            mode=config.gmw_mode,
+        )
+        total_ots = 0
+        transfer_count = 0
+
+        outbox_shares: Dict[int, List[List[int]]] = {}
+        for step in range(iterations):
+            total_ots += self._computation_step(
+                graph, gmw, circuits, vertex_bound, state_shares, inbox_shares,
+                outbox_shares, assignment, meter, phases, rng,
+            )
+            transfer_count += self._communication_step(
+                graph, nodes, assignment, vertex_bound, inbox_shares,
+                outbox_shares, meter, phases, rng,
+            )
+        # Final computation step (§3.6).
+        total_ots += self._computation_step(
+            graph, gmw, circuits, vertex_bound, state_shares, inbox_shares,
+            outbox_shares, assignment, meter, phases, rng,
+        )
+
+        # ------------------------------------------------- aggregation --
+        started = time.perf_counter()
+        noisy_raw, pre_noise_raw, levels = self._aggregate_and_noise(
+            graph, gmw, state_shares, assignment, meter, rng
+        )
+        phases.add("aggregation", time.perf_counter() - started)
+
+        edge_eps = None
+        if config.edge_noise_alpha is not None:
+            delta = transfer_sensitivity(config.collusion_bound)
+            eps_transfer = -math.log(config.edge_noise_alpha) * delta / 2.0
+            edge_eps = per_iteration_epsilon(config.collusion_bound, bits, eps_transfer)
+
+        return SecureRunResult(
+            noisy_output=noisy_raw * fmt.resolution,
+            pre_noise_output=pre_noise_raw * fmt.resolution,
+            noise_raw=noisy_raw - pre_noise_raw,
+            iterations=iterations,
+            traffic=meter,
+            phases=phases,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            transfer_count=transfer_count,
+            gmw_ot_count=total_ots,
+            gmw_and_gates_per_step=circuit_stats.and_gates,
+            output_epsilon=config.output_epsilon,
+            edge_epsilon_per_iteration=edge_eps,
+            aggregation_levels=levels,
+        )
+
+    # ------------------------------------------------------------ phases --
+
+    def _assign_buckets(
+        self, graph: DistributedGraph, bucket_bounds: Optional[List[int]]
+    ) -> Dict[int, int]:
+        """Map each vertex to its degree bound (§3.7 buckets).
+
+        Without buckets every vertex pads to the global degree bound.
+        With buckets, each vertex gets the smallest bucket that holds its
+        actual degree; the largest bucket must cover the global bound so
+        any degree is placeable.
+        """
+        if bucket_bounds is None:
+            return {v: graph.degree_bound for v in graph.vertex_ids}
+        bounds = sorted(set(bucket_bounds))
+        if not bounds or bounds[-1] < graph.max_degree():
+            raise ConfigurationError(
+                "largest bucket must cover the graph's maximum degree"
+            )
+        if bounds[0] < 1:
+            raise ConfigurationError("bucket bounds must be positive")
+        assignment = {}
+        for view in graph.vertices():
+            degree = max(view.in_degree, view.out_degree, 1)
+            assignment[view.vertex_id] = next(b for b in bounds if b >= degree)
+        return assignment
+
+    def _meter_share_distribution(
+        self, meter: TrafficMeter, src: int, members: List[int], word_bytes: float
+    ) -> None:
+        for member in members:
+            if member != src:
+                meter.record_send(src, member, word_bytes)
+
+    def _computation_step(
+        self,
+        graph: DistributedGraph,
+        gmw: GMWEngine,
+        circuits,
+        vertex_bound,
+        state_shares,
+        inbox_shares,
+        outbox_shares,
+        assignment: BlockAssignment,
+        meter: TrafficMeter,
+        phases: PhaseTimer,
+        rng: DeterministicRNG,
+    ) -> int:
+        """One §3.6 computation step: GMW per vertex block."""
+        started = time.perf_counter()
+        ots = 0
+        for view in graph.vertices():
+            v = view.vertex_id
+            bound = vertex_bound[v]
+            registers = self.program.state_registers(bound)
+            shared_inputs = dict(state_shares[v])
+            for slot in range(bound):
+                shared_inputs[f"msg_in_{slot}"] = inbox_shares[v][slot]
+            result = gmw.evaluate(circuits[bound], shared_inputs, rng)
+            state_shares[v] = {reg: result.output_shares[reg] for reg in registers}
+            outbox_shares[v] = [
+                result.output_shares[f"msg_out_{slot}"] for slot in range(bound)
+            ]
+            members = assignment.blocks[v]
+            per_member_ots = result.traffic.ot_count // max(1, len(members))
+            for p, member in enumerate(members):
+                meter.node(member).bytes_sent += result.traffic.sent_bits[p] / 8.0
+                meter.node(member).bytes_received += result.traffic.received_bits[p] / 8.0
+                meter.node(member).gmw_evaluations += 1
+                meter.node(member).ot_transfers += per_member_ots
+            ots += result.traffic.ot_count
+        phases.add("computation", time.perf_counter() - started)
+        return ots
+
+    def _communication_step(
+        self,
+        graph: DistributedGraph,
+        nodes: Dict[int, SimulatedNode],
+        assignment: BlockAssignment,
+        vertex_bound,
+        inbox_shares,
+        outbox_shares,
+        meter: TrafficMeter,
+        phases: PhaseTimer,
+        rng: DeterministicRNG,
+    ) -> int:
+        """One §3.6 communication step: §3.5 transfer per directed edge."""
+        started = time.perf_counter()
+        config = self.config
+        fmt = self.program.fmt
+        transfers = 0
+        for view in graph.vertices():
+            u = view.vertex_id
+            for out_slot, v in enumerate(view.out_neighbors):
+                in_slot = graph.vertex(v).in_slot(u)
+                certificate = nodes[u].neighbor_certificates[v]
+                neighbor_key = nodes[v].neighbor_keys[in_slot]
+                receiver_members = assignment.blocks[v]
+                receiver_keys = [nodes[m].member_keys for m in receiver_members]
+                result = self.transfer.execute(
+                    outbox_shares[u][out_slot],
+                    certificate,
+                    neighbor_key,
+                    receiver_keys,
+                    rng,
+                )
+                inbox_shares[v][in_slot] = result.receiver_shares
+                self._meter_transfer(meter, u, v, assignment, result.traffic)
+                transfers += 1
+            if config.pad_transfers:
+                transfers += self._padded_self_transfers(
+                    graph, nodes, assignment, vertex_bound, inbox_shares, meter,
+                    view, rng
+                )
+            else:
+                # Unused inbox slots revert to fresh no-op shares from the
+                # owner (cheap local padding; see DESIGN.md).
+                raw_no_op = fmt.to_unsigned(fmt.encode(NO_OP_MESSAGE))
+                for slot in range(view.in_degree, vertex_bound[view.vertex_id]):
+                    inbox_shares[view.vertex_id][slot] = share_value(
+                        raw_no_op, fmt.total_bits, config.block_size, rng
+                    )
+                    self._meter_share_distribution(
+                        meter,
+                        view.vertex_id,
+                        assignment.blocks[view.vertex_id],
+                        (fmt.total_bits + 7) / 8.0,
+                    )
+        phases.add("communication", time.perf_counter() - started)
+        return transfers
+
+    def _padded_self_transfers(
+        self, graph, nodes, assignment, vertex_bound, inbox_shares, meter, view, rng
+    ) -> int:
+        """Run full no-op transfers on unused slots (degree hiding)."""
+        config = self.config
+        fmt = self.program.fmt
+        v = view.vertex_id
+        count = 0
+        for slot in range(view.in_degree, vertex_bound[v]):
+            certificate = nodes[v].neighbor_certificates.get(("self", slot))
+            if certificate is None:
+                # Leftover certificate for this slot, retained by the owner.
+                certificate = self._own_certificate(nodes, assignment, v, slot)
+                nodes[v].neighbor_certificates[("self", slot)] = certificate
+            shares = share_value(
+                fmt.to_unsigned(fmt.encode(NO_OP_MESSAGE)),
+                fmt.total_bits,
+                config.block_size,
+                rng,
+            )
+            receiver_keys = [nodes[m].member_keys for m in assignment.blocks[v]]
+            result = self.transfer.execute(
+                shares, certificate, nodes[v].neighbor_keys[slot], receiver_keys, rng
+            )
+            inbox_shares[v][slot] = result.receiver_shares
+            self._meter_transfer(meter, v, v, assignment, result.traffic)
+            count += 1
+        return count
+
+    def _own_certificate(self, nodes, assignment, v: int, slot: int):
+        """Rebuild the leftover certificate for slot ``slot`` of node ``v``.
+
+        In a deployment the node would simply have kept the certificate the
+        TP sent; the simulation reconstructs it on demand to avoid storing
+        all D certificates for every node.
+        """
+        # The certificate contents only depend on member keys and the
+        # neighbor key, both of which the owner legitimately holds.
+        from repro.crypto.keys import SchnorrSigner
+        from repro.transfer.certificates import build_certificate
+
+        signer = SchnorrSigner(self.elgamal.group)
+        throwaway = signer.keygen(DeterministicRNG(f"self-cert-{v}-{slot}"))
+        return build_certificate(
+            self.elgamal,
+            signer,
+            throwaway,
+            owner=v,
+            edge_slot=slot,
+            member_keys=[nodes[m].member_keys for m in assignment.blocks[v]],
+            neighbor_key=nodes[v].neighbor_keys[slot],
+            rng=DeterministicRNG(f"self-cert-rng-{v}-{slot}"),
+        )
+
+    def _meter_transfer(
+        self, meter: TrafficMeter, u: int, v: int, assignment: BlockAssignment, traffic
+    ) -> None:
+        """Distribute §5.3 role traffic onto the simulated nodes."""
+        for member in assignment.blocks[u]:
+            if member != u:
+                meter.record_send(member, u, traffic.sender_member_bytes)
+        if u != v:
+            meter.record_send(u, v, traffic.node_u_sent_bytes)
+        for member in assignment.blocks[v]:
+            if member != v:
+                meter.record_send(v, member, traffic.receiver_member_bytes)
+        # Exponentiation counts per role (cost model input).
+        bits = traffic.message_bits
+        for member in assignment.blocks[u]:
+            meter.node(member).exponentiations += traffic.block_size * (bits + 1)
+        meter.node(u).exponentiations += traffic.block_size * bits  # noise terms
+        meter.node(v).exponentiations += traffic.block_size  # adjust
+        for member in assignment.blocks[v]:
+            meter.node(member).exponentiations += bits  # decryption
+
+    # -------------------------------------------------------- aggregation --
+
+    def _aggregate_and_noise(
+        self,
+        graph: DistributedGraph,
+        gmw: GMWEngine,
+        state_shares,
+        assignment: BlockAssignment,
+        meter: TrafficMeter,
+        rng: DeterministicRNG,
+    ):
+        """§3.6 aggregation + noising over a (possibly hierarchical) tree."""
+        config = self.config
+        program = self.program
+        fmt = program.fmt
+        bits = fmt.total_bits
+        word_bytes = (bits + 7) / 8.0
+        block_size = config.block_size
+
+        plan = AggregationPlan(
+            groups=plan_groups(graph.vertex_ids, config.aggregation_fanout),
+            value_bits=bits,
+        )
+        root_members = assignment.blocks[AGGREGATION_BLOCK_ID]
+
+        def reshare_to(
+            share_words: List[int], width: int, src_members: List[int], dst_members: List[int]
+        ) -> List[int]:
+            fresh = reshare_word(share_words, width, len(dst_members), rng)
+            for src in src_members:
+                for dst in dst_members:
+                    if src != dst:
+                        meter.record_send(src, dst, (width + 7) / 8.0)
+            return fresh
+
+        register = program.aggregate_register
+        pre_noise_raw = 0
+        for v in graph.vertex_ids:
+            pre_noise_raw += fmt.from_unsigned(
+                reconstruct_value(state_shares[v][register], bits)
+            )
+
+        if plan.is_hierarchical:
+            group_width = plan.group_sum_bits
+            group_sum_shares: List[List[int]] = []
+            for group in plan.groups:
+                # The group's aggregation block: reuse the first member's
+                # block (already a uniformly random k+1 subset).
+                group_block = assignment.blocks[group[0]]
+                circuit = build_partial_sum_circuit(len(group), bits, group_width)
+                shared_inputs = {}
+                for index, v in enumerate(group):
+                    shared_inputs[f"state_{index}"] = reshare_to(
+                        state_shares[v][register], bits, assignment.blocks[v], group_block
+                    )
+                result = gmw.evaluate(circuit, shared_inputs, rng)
+                self._meter_gmw(meter, group_block, result)
+                group_sum_shares.append(
+                    reshare_to(
+                        result.output_shares["partial_sum"],
+                        group_width,
+                        group_block,
+                        root_members,
+                    )
+                )
+            root_inputs = group_sum_shares
+            root_width = group_width
+            levels = 2
+        else:
+            root_inputs = [
+                reshare_to(state_shares[v][register], bits, assignment.blocks[v], root_members)
+                for v in graph.vertex_ids
+            ]
+            root_width = bits
+            levels = 1
+
+        alpha = config.noise_alpha_for(program.sensitivity)
+        magnitude_bits = config.noise_magnitude_bits_for(program.sensitivity)
+        root_circuit = build_noised_sum_bits_circuit(
+            num_inputs=len(root_inputs),
+            value_bits=root_width,
+            alpha=alpha,
+            magnitude_bits=magnitude_bits,
+            precision_bits=config.noise_precision_bits,
+        )
+        seed_width = geometric_bits_seed_width(magnitude_bits, config.noise_precision_bits)
+        shared_inputs = {f"state_{i}": shares for i, shares in enumerate(root_inputs)}
+        # Every root member contributes its own uniform word as its share of
+        # the seed; XOR of the shares is the seed, so one honest member
+        # suffices for uniformity (§3.6 "combine the random shares").
+        shared_inputs["seed"] = [rng.fork(f"seed-{m}").randbits(seed_width) for m in root_members]
+        result = gmw.evaluate(root_circuit, shared_inputs, rng)
+        self._meter_gmw(meter, root_members, result)
+
+        noised_raw = result.reveal("noised_sum", signed=True)
+        # Revealing the output: every root member publishes its share.
+        out_width = result.bus_widths["noised_sum"]
+        for member in root_members:
+            for other in root_members:
+                if member != other:
+                    meter.record_send(member, other, (out_width + 7) / 8.0)
+        return noised_raw, pre_noise_raw, levels
+
+    def _meter_gmw(self, meter: TrafficMeter, members: List[int], result) -> None:
+        for p, member in enumerate(members):
+            meter.node(member).bytes_sent += result.traffic.sent_bits[p] / 8.0
+            meter.node(member).bytes_received += result.traffic.received_bits[p] / 8.0
+            meter.node(member).gmw_evaluations += 1

@@ -1,0 +1,113 @@
+"""Bounded discrete-log recovery for exponential ElGamal.
+
+Exponential ElGamal encrypts ``g**m`` rather than ``m``, so decryption ends
+with a discrete-log computation. DStress only ever decrypts *small* values
+(noised sums of bits, Appendix B), so the paper uses a precomputed lookup
+table; when the noised value falls outside the table the transfer fails,
+which is exactly the ``P_fail`` analysed in Appendix B.
+
+Two strategies are provided:
+
+* :class:`DlogTable` — the paper's approach: precompute ``g**c`` for all
+  candidates ``c`` in a symmetric window ``[-half, half]``.
+* :class:`BabyStepGiantStep` — O(sqrt(range)) time and memory, useful when
+  the window is too large to tabulate in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.crypto.group import CyclicGroup
+from repro.exceptions import DecryptionError
+
+__all__ = ["DlogTable", "BabyStepGiantStep"]
+
+
+class DlogTable:
+    """Lookup-table discrete log over a symmetric integer window.
+
+    Parameters
+    ----------
+    group:
+        The cyclic group.
+    half_width:
+        Recoverable exponents are ``[-half_width, half_width]``; the table
+        stores ``2 * half_width + 1`` entries (``N_l`` in Appendix B).
+    """
+
+    def __init__(self, group: CyclicGroup, half_width: int) -> None:
+        if half_width < 0:
+            raise ValueError("half_width must be non-negative")
+        self.group = group
+        self.half_width = half_width
+        self._table: Dict[bytes, int] = {}
+        element = group.identity
+        g = group.generator
+        for value in range(half_width + 1):
+            self._table.setdefault(group.element_to_bytes(element), value)
+            element = group.mul(element, g)
+        element = group.inv(g)
+        g_inv = element
+        for value in range(1, half_width + 1):
+            self._table.setdefault(group.element_to_bytes(element), -value)
+            element = group.mul(element, g_inv)
+
+    @property
+    def num_entries(self) -> int:
+        """Number of table entries (the Appendix B ``N_l``)."""
+        return 2 * self.half_width + 1
+
+    def recover(self, element: Any) -> int:
+        """Return ``m`` such that ``g**m == element``.
+
+        Raises
+        ------
+        DecryptionError
+            If the exponent lies outside the table window — the transfer
+            failure event whose probability Appendix B bounds.
+        """
+        key = self.group.element_to_bytes(element)
+        try:
+            return self._table[key]
+        except KeyError:
+            raise DecryptionError(
+                f"exponent outside dlog window ±{self.half_width}"
+            ) from None
+
+
+class BabyStepGiantStep:
+    """Shanks' baby-step/giant-step for exponents in ``[-half, half]``."""
+
+    def __init__(self, group: CyclicGroup, half_width: int) -> None:
+        if half_width < 0:
+            raise ValueError("half_width must be non-negative")
+        self.group = group
+        self.half_width = half_width
+        span = 2 * half_width + 1
+        self._m = max(1, int(span**0.5) + 1)
+        self._baby: Dict[bytes, int] = {}
+        element = group.identity
+        g = group.generator
+        for j in range(self._m):
+            self._baby.setdefault(group.element_to_bytes(element), j)
+            element = group.mul(element, g)
+        # giant step multiplies by g^{-m}
+        self._giant_step = group.inv(group.power_of_g(self._m))
+
+    def recover(self, element: Any) -> int:
+        """Return ``m`` with ``g**m == element`` or raise DecryptionError."""
+        group = self.group
+        # Shift so the search range is [0, 2*half]: solve for m + half.
+        shifted = group.mul(element, group.power_of_g(self.half_width))
+        span = 2 * self.half_width + 1
+        gamma = shifted
+        max_i = (span + self._m - 1) // self._m
+        for i in range(max_i + 1):
+            j = self._baby.get(group.element_to_bytes(gamma))
+            if j is not None:
+                candidate = i * self._m + j - self.half_width
+                if -self.half_width <= candidate <= self.half_width:
+                    return candidate
+            gamma = group.mul(gamma, self._giant_step)
+        raise DecryptionError(f"exponent outside dlog window ±{self.half_width}")

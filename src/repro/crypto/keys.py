@@ -1,0 +1,87 @@
+"""Key material and signatures for the one-time setup step (§3.4).
+
+The trusted party signs the block list and the block certificates. The paper
+does not prescribe a signature scheme; we implement Schnorr signatures over
+the same DDH group the rest of the system uses, so the whole construction
+stays self-contained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.crypto.group import CyclicGroup, default_group
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import CryptoError
+
+__all__ = ["SchnorrSignature", "SigningKeyPair", "SchnorrSigner", "Signed"]
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A Schnorr signature ``(challenge e, response s)``."""
+
+    e: int
+    s: int
+
+    def size_bytes(self, group: CyclicGroup) -> int:
+        scalar_bytes = (group.order.bit_length() + 7) // 8
+        return 2 * scalar_bytes
+
+
+@dataclass(frozen=True)
+class SigningKeyPair:
+    """Schnorr signing key: secret scalar and public element ``g**x``."""
+
+    secret: int
+    public: Any
+
+
+@dataclass(frozen=True)
+class Signed:
+    """A payload together with its signature; ``payload`` must be bytes."""
+
+    payload: bytes
+    signature: SchnorrSignature
+
+
+class SchnorrSigner:
+    """Schnorr signatures (hash-then-respond) over a cyclic group."""
+
+    def __init__(self, group: Optional[CyclicGroup] = None) -> None:
+        self.group = group if group is not None else default_group()
+
+    def keygen(self, rng: DeterministicRNG) -> SigningKeyPair:
+        x = self.group.random_scalar(rng)
+        return SigningKeyPair(secret=x, public=self.group.power_of_g(x))
+
+    def _challenge(self, commitment: Any, message: bytes) -> int:
+        data = self.group.element_to_bytes(commitment) + b"|" + message
+        return int.from_bytes(hashlib.sha256(data).digest(), "big") % self.group.order
+
+    def sign(self, key: SigningKeyPair, message: bytes, rng: DeterministicRNG) -> SchnorrSignature:
+        """Sign ``message``: commit ``g**k``, challenge ``e = H(g**k, m)``,
+        respond ``s = k - x e``."""
+        k = self.group.random_scalar(rng)
+        commitment = self.group.power_of_g(k)
+        e = self._challenge(commitment, message)
+        s = (k - key.secret * e) % self.group.order
+        return SchnorrSignature(e=e, s=s)
+
+    def verify(self, public_key: Any, message: bytes, signature: SchnorrSignature) -> bool:
+        """Check ``e == H(g**s * pk**e, m)``."""
+        g = self.group
+        commitment = g.mul(g.power_of_g(signature.s), g.exp(public_key, signature.e))
+        return self._challenge(commitment, message) == signature.e
+
+    def seal(self, key: SigningKeyPair, payload: bytes, rng: DeterministicRNG) -> Signed:
+        """Sign and bundle a payload."""
+        return Signed(payload=payload, signature=self.sign(key, payload, rng))
+
+    def open(self, public_key: Any, signed: Signed) -> bytes:
+        """Verify a bundle and return the payload; raise on a bad signature."""
+        if not self.verify(public_key, signed.payload, signed.signature):
+            raise CryptoError("invalid signature on sealed payload")
+        return signed.payload

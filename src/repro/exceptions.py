@@ -1,0 +1,43 @@
+"""Exception hierarchy for the DStress reproduction.
+
+Every error raised by this library derives from :class:`DStressError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class DStressError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(DStressError):
+    """A cryptographic operation failed or was used incorrectly."""
+
+
+class DecryptionError(CryptoError):
+    """A ciphertext could not be decrypted (e.g. dlog table miss)."""
+
+
+class ProtocolError(DStressError):
+    """A protocol message violated the expected format or ordering."""
+
+
+class CircuitError(DStressError):
+    """A boolean circuit was malformed or evaluated incorrectly."""
+
+
+class PrivacyBudgetExceeded(DStressError):
+    """An operation would exceed the remaining differential privacy budget."""
+
+
+class SensitivityError(DStressError):
+    """A program declared an invalid or missing sensitivity bound."""
+
+
+class ConfigurationError(DStressError):
+    """Invalid runtime configuration (block size, degree bound, ...)."""
+
+
+class ConvergenceError(DStressError):
+    """An iterative solver failed to converge within its iteration bound."""

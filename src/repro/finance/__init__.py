@@ -1,0 +1,48 @@
+"""Systemic-risk case study: models, metrics, sensitivities, scenarios."""
+
+from repro.finance.eisenberg_noe import (
+    ClearingResult,
+    EisenbergNoeProgram,
+    clearing_vector,
+    total_dollar_shortfall,
+)
+from repro.finance.elliott_golub_jackson import (
+    EGJResult,
+    ElliottGolubJacksonProgram,
+    egj_fixpoint,
+    egj_total_shortfall,
+)
+from repro.finance.metrics import RiskReport, egj_risk_report, en_risk_report
+from repro.finance.network import Bank, CrossHolding, DebtContract, FinancialNetwork
+from repro.finance.scenarios import Shock, apply_shock, uniform_shock
+from repro.finance.sensitivity import (
+    BASEL_III_LEVERAGE_BOUND,
+    check_leverage_bound,
+    egj_sensitivity,
+    eisenberg_noe_sensitivity,
+)
+
+__all__ = [
+    "BASEL_III_LEVERAGE_BOUND",
+    "Bank",
+    "ClearingResult",
+    "CrossHolding",
+    "DebtContract",
+    "EGJResult",
+    "EisenbergNoeProgram",
+    "ElliottGolubJacksonProgram",
+    "FinancialNetwork",
+    "RiskReport",
+    "Shock",
+    "apply_shock",
+    "check_leverage_bound",
+    "clearing_vector",
+    "egj_fixpoint",
+    "egj_risk_report",
+    "egj_sensitivity",
+    "egj_total_shortfall",
+    "eisenberg_noe_sensitivity",
+    "en_risk_report",
+    "total_dollar_shortfall",
+    "uniform_shock",
+]

@@ -1,0 +1,64 @@
+"""Systemic-risk metrics (§4.1).
+
+The paper measures systemic risk as the *total dollar shortfall* (TDS):
+the amount of money a lender of last resort would have to inject to
+prevent failures. TDS is preferred over "number of failed banks" both for
+interpretability and because it is the quantity with a bounded sensitivity
+to portfolio changes [39] — counting queries over graphs are notoriously
+high-sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.finance.eisenberg_noe import ClearingResult
+from repro.finance.elliott_golub_jackson import EGJResult
+
+__all__ = ["RiskReport", "en_risk_report", "egj_risk_report"]
+
+
+@dataclass(frozen=True)
+class RiskReport:
+    """Summary of one stress-test outcome."""
+
+    model: str
+    total_dollar_shortfall: float
+    num_failures: int
+    failed_banks: List[int]
+    per_bank_shortfall: Dict[int, float]
+
+    @property
+    def worst_bank(self) -> int | None:
+        if not self.per_bank_shortfall:
+            return None
+        return max(self.per_bank_shortfall, key=self.per_bank_shortfall.get)
+
+
+def en_risk_report(result: ClearingResult) -> RiskReport:
+    """Risk metrics from an Eisenberg-Noe clearing solution."""
+    shortfalls = {
+        b: result.obligations[b] - result.payments[b] for b in result.obligations
+    }
+    return RiskReport(
+        model="eisenberg-noe",
+        total_dollar_shortfall=result.total_shortfall,
+        num_failures=len(result.defaulters),
+        failed_banks=list(result.defaulters),
+        per_bank_shortfall=shortfalls,
+    )
+
+
+def egj_risk_report(result: EGJResult, thresholds: Dict[int, float]) -> RiskReport:
+    """Risk metrics from an EGJ fixpoint."""
+    shortfalls = {
+        b: max(0.0, thresholds[b] - result.values[b]) for b in result.values
+    }
+    return RiskReport(
+        model="elliott-golub-jackson",
+        total_dollar_shortfall=result.total_shortfall,
+        num_failures=len(result.distressed),
+        failed_banks=list(result.distressed),
+        per_bank_shortfall=shortfalls,
+    )

@@ -1,0 +1,44 @@
+"""Sensitivity bounds for the systemic-risk programs (§4.4).
+
+DStress requires every program to declare a finite sensitivity bound
+(§3.1). For the financial models the bounds come from Hemenway and Khanna
+[39]: with a leverage floor ``r`` (a bank's equity must be at least an
+``r`` fraction of its total assets — Basel III mandates such floors), a
+reallocation of one unit of portfolio value changes the total dollar
+shortfall by at most ``2/r`` under Elliott-Golub-Jackson and, by the
+analogous argument, ``1/r`` under Eisenberg-Noe. Crucially the bounds are
+*independent of the number of iterations* — iterating longer costs time,
+not privacy.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SensitivityError
+
+__all__ = [
+    "check_leverage_bound",
+    "eisenberg_noe_sensitivity",
+    "egj_sensitivity",
+    "BASEL_III_LEVERAGE_BOUND",
+]
+
+#: The leverage bound the paper adopts from the Basel III framework (§4.5).
+BASEL_III_LEVERAGE_BOUND = 0.1
+
+
+def check_leverage_bound(leverage_bound: float) -> float:
+    """Validate a leverage floor ``r`` in (0, 1]."""
+    if not 0.0 < leverage_bound <= 1.0:
+        raise SensitivityError("leverage bound r must lie in (0, 1]")
+    return leverage_bound
+
+
+def eisenberg_noe_sensitivity(leverage_bound: float = BASEL_III_LEVERAGE_BOUND) -> float:
+    """TDS sensitivity of the Eisenberg-Noe program: ``1/r`` (§4.4)."""
+    return 1.0 / check_leverage_bound(leverage_bound)
+
+
+def egj_sensitivity(leverage_bound: float = BASEL_III_LEVERAGE_BOUND) -> float:
+    """TDS sensitivity of the Elliott-Golub-Jackson program: ``2/r``
+    (Hemenway-Khanna [39])."""
+    return 2.0 / check_leverage_bound(leverage_bound)

@@ -1,0 +1,14 @@
+"""Synthetic interbank network generators (Appendix C)."""
+
+from repro.graphgen.core_periphery import CorePeripheryParams, core_periphery_network
+from repro.graphgen.random_graphs import RandomNetworkParams, random_network
+from repro.graphgen.scale_free import ScaleFreeParams, scale_free_network
+
+__all__ = [
+    "CorePeripheryParams",
+    "RandomNetworkParams",
+    "ScaleFreeParams",
+    "core_periphery_network",
+    "random_network",
+    "scale_free_network",
+]

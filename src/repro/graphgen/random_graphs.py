@@ -1,0 +1,87 @@
+"""Simple random interbank networks for benchmarks and property tests.
+
+The paper's end-to-end runs (§5.4) use "a synthetic graph with N = 100
+banks and a degree limit of D = 10"; this module produces such graphs with
+controllable N, target degree and degree cap, plus the uniform
+balance-sheet synthesis the other generators share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import ConfigurationError
+from repro.finance.network import Bank, FinancialNetwork
+
+__all__ = ["RandomNetworkParams", "random_network"]
+
+
+@dataclass(frozen=True)
+class RandomNetworkParams:
+    """Shape parameters for the uniform random network."""
+
+    num_banks: int = 100
+    mean_degree: float = 4.0
+    degree_cap: int = 10
+    assets: float = 10.0
+    exposure_fraction: float = 0.1
+    leverage_bound: float = 0.1
+    threshold_fraction: float = 0.5
+    penalty_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.num_banks < 2:
+            raise ConfigurationError("need at least two banks")
+        if self.mean_degree <= 0 or self.degree_cap < 1:
+            raise ConfigurationError("degree parameters must be positive")
+
+
+def random_network(
+    params: RandomNetworkParams | None = None,
+    rng: DeterministicRNG | None = None,
+) -> FinancialNetwork:
+    """Erdos-Renyi-style debt network with a hard degree cap.
+
+    Every ordered pair is linked with probability ``mean_degree / (N-1)``
+    unless either endpoint is saturated; cross-holdings mirror the edges.
+    """
+    params = params if params is not None else RandomNetworkParams()
+    rng = rng if rng is not None else DeterministicRNG(0)
+    network = FinancialNetwork()
+
+    for bank_id in range(params.num_banks):
+        assets = params.assets * (0.6 + 0.8 * rng.random())
+        network.add_bank(
+            Bank(
+                bank_id,
+                cash=assets * params.leverage_bound * 1.5,
+                base_assets=assets * 0.65,
+                orig_value=assets,
+                threshold=assets * params.threshold_fraction,
+                penalty=assets * params.penalty_fraction,
+            )
+        )
+
+    probability = min(1.0, params.mean_degree / max(1, params.num_banks - 1))
+    out_deg = [0] * params.num_banks
+    in_deg = [0] * params.num_banks
+    hold_out = [0] * params.num_banks  # issuer side of the EGJ graph
+    hold_in = [0] * params.num_banks  # holder side of the EGJ graph
+    for a in range(params.num_banks):
+        for b in range(params.num_banks):
+            if a == b or rng.random() >= probability:
+                continue
+            if out_deg[a] >= params.degree_cap or in_deg[b] >= params.degree_cap:
+                continue
+            amount = params.assets * params.exposure_fraction * (0.5 + rng.random())
+            network.add_debt(a, b, amount)
+            out_deg[a] += 1
+            in_deg[b] += 1
+            # Mirror the debt edge with a cross-holding (b holds equity of
+            # a), respecting the EGJ graph's own degree cap.
+            if hold_out[a] < params.degree_cap and hold_in[b] < params.degree_cap:
+                network.add_holding(b, a, min(0.2, 0.05 + 0.1 * rng.random()))
+                hold_out[a] += 1
+                hold_in[b] += 1
+    return network

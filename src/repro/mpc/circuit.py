@@ -1,0 +1,205 @@
+"""Boolean circuit intermediate representation for the GMW engine.
+
+DStress update functions must be expressible as Boolean circuits (§3.7);
+this module is the circuit IR and its plaintext evaluator. Circuits are
+DAGs of XOR / AND / NOT gates over single-bit wires, with named multi-bit
+*buses* for inputs and outputs (least-significant bit first).
+
+XOR and NOT are "free" in GMW (local share operations); AND is the costly
+gate (one OT per ordered party pair), so the circuit statistics that matter
+for the cost model are the AND count and the AND *depth* (round count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Sequence
+
+from repro.exceptions import CircuitError
+
+__all__ = ["GateOp", "Gate", "Circuit", "CircuitStats"]
+
+
+class GateOp(Enum):
+    """Primitive gate types; everything else is built from these."""
+
+    XOR = "xor"
+    AND = "and"
+    NOT = "not"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: ``out = op(a, b)`` (``b`` unused for NOT)."""
+
+    op: GateOp
+    a: int
+    b: int
+    out: int
+
+
+@dataclass
+class CircuitStats:
+    """Size/depth statistics used by the cost model (§5.2)."""
+
+    num_wires: int = 0
+    xor_gates: int = 0
+    and_gates: int = 0
+    not_gates: int = 0
+    and_depth: int = 0
+
+    @property
+    def total_gates(self) -> int:
+        return self.xor_gates + self.and_gates + self.not_gates
+
+
+class Circuit:
+    """A Boolean circuit with named input/output buses.
+
+    Wires are dense integer ids. Wire 0 is the constant 0 and wire 1 the
+    constant 1; they are always present so the builder can fold constants.
+    """
+
+    def __init__(self) -> None:
+        self._num_wires = 2  # wires 0 and 1 are the constants
+        self.gates: List[Gate] = []
+        self.input_buses: Dict[str, List[int]] = {}
+        self.output_buses: Dict[str, List[int]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @property
+    def zero(self) -> int:
+        """The constant-0 wire."""
+        return 0
+
+    @property
+    def one(self) -> int:
+        """The constant-1 wire."""
+        return 1
+
+    @property
+    def num_wires(self) -> int:
+        return self._num_wires
+
+    def new_wire(self) -> int:
+        wire = self._num_wires
+        self._num_wires += 1
+        return wire
+
+    def add_input_bus(self, name: str, width: int) -> List[int]:
+        """Declare a named ``width``-bit input bus; returns its wires."""
+        if name in self.input_buses:
+            raise CircuitError(f"duplicate input bus {name!r}")
+        if width < 1:
+            raise CircuitError("bus width must be positive")
+        wires = [self.new_wire() for _ in range(width)]
+        self.input_buses[name] = wires
+        return wires
+
+    def mark_output_bus(self, name: str, wires: Sequence[int]) -> None:
+        """Expose existing wires as a named output bus."""
+        if name in self.output_buses:
+            raise CircuitError(f"duplicate output bus {name!r}")
+        for wire in wires:
+            self._check_wire(wire)
+        self.output_buses[name] = list(wires)
+
+    def _check_wire(self, wire: int) -> None:
+        if not (0 <= wire < self._num_wires):
+            raise CircuitError(f"wire {wire} out of range")
+
+    def add_gate(self, op: GateOp, a: int, b: int = 0) -> int:
+        """Append a gate and return its output wire."""
+        self._check_wire(a)
+        if op is not GateOp.NOT:
+            self._check_wire(b)
+        out = self.new_wire()
+        self.gates.append(Gate(op=op, a=a, b=b, out=out))
+        return out
+
+    def xor(self, a: int, b: int) -> int:
+        """XOR with constant folding (free gate in GMW)."""
+        if a == self.zero:
+            return b
+        if b == self.zero:
+            return a
+        if a == b:
+            return self.zero
+        if a == self.one:
+            return self.inv(b)
+        if b == self.one:
+            return self.inv(a)
+        return self.add_gate(GateOp.XOR, a, b)
+
+    def and_(self, a: int, b: int) -> int:
+        """AND with constant folding (the costly gate in GMW)."""
+        if a == self.zero or b == self.zero:
+            return self.zero
+        if a == self.one:
+            return b
+        if b == self.one:
+            return a
+        if a == b:
+            return a
+        return self.add_gate(GateOp.AND, a, b)
+
+    def inv(self, a: int) -> int:
+        """NOT with constant folding (free gate in GMW)."""
+        if a == self.zero:
+            return self.one
+        if a == self.one:
+            return self.zero
+        return self.add_gate(GateOp.NOT, a)
+
+    def or_(self, a: int, b: int) -> int:
+        """OR built from one AND: ``a | b = ~(~a & ~b)``."""
+        return self.inv(self.and_(self.inv(a), self.inv(b)))
+
+    # -- analysis ----------------------------------------------------------
+
+    def stats(self) -> CircuitStats:
+        """Gate counts and multiplicative (AND) depth."""
+        depth = [0] * self._num_wires
+        stats = CircuitStats(num_wires=self._num_wires)
+        for gate in self.gates:
+            if gate.op is GateOp.AND:
+                stats.and_gates += 1
+                depth[gate.out] = max(depth[gate.a], depth[gate.b]) + 1
+            elif gate.op is GateOp.XOR:
+                stats.xor_gates += 1
+                depth[gate.out] = max(depth[gate.a], depth[gate.b])
+            else:
+                stats.not_gates += 1
+                depth[gate.out] = depth[gate.a]
+        stats.and_depth = max(depth) if self._num_wires else 0
+        return stats
+
+    # -- plaintext evaluation (the oracle used in tests) --------------------
+
+    def evaluate(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        """Evaluate in the clear. ``inputs`` maps bus name to integer value
+        (interpreted modulo ``2**width``); returns output bus values."""
+        values = [0] * self._num_wires
+        values[self.one] = 1
+        for name, wires in self.input_buses.items():
+            if name not in inputs:
+                raise CircuitError(f"missing input bus {name!r}")
+            value = inputs[name] & ((1 << len(wires)) - 1)
+            for position, wire in enumerate(wires):
+                values[wire] = (value >> position) & 1
+        for gate in self.gates:
+            if gate.op is GateOp.XOR:
+                values[gate.out] = values[gate.a] ^ values[gate.b]
+            elif gate.op is GateOp.AND:
+                values[gate.out] = values[gate.a] & values[gate.b]
+            else:
+                values[gate.out] = values[gate.a] ^ 1
+        outputs = {}
+        for name, wires in self.output_buses.items():
+            value = 0
+            for position, wire in enumerate(wires):
+                value |= values[wire] << position
+            outputs[name] = value
+        return outputs

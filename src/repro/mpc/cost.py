@@ -1,0 +1,64 @@
+"""Closed-form cost accounting for GMW executions.
+
+The scalability projections of Figure 6 are computed (in the paper and
+here) from microbenchmark-calibrated per-operation costs multiplied by
+operation *counts*. This module provides the counts; the calibrated time
+constants live in :mod:`repro.simulation.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpc.circuit import Circuit
+
+__all__ = ["GMWCost", "gmw_cost"]
+
+
+@dataclass(frozen=True)
+class GMWCost:
+    """Operation counts for one GMW evaluation of one circuit."""
+
+    parties: int
+    and_gates: int
+    xor_gates: int
+    rounds: int
+    total_ots: int
+    ots_per_party: int
+    #: bits each party puts on the wire (OT-based ANDs)
+    sent_bits_per_party: int
+
+    @property
+    def sent_bytes_per_party(self) -> float:
+        return self.sent_bits_per_party / 8.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.parties * self.sent_bytes_per_party
+
+
+def gmw_cost(
+    circuit: Circuit,
+    parties: int,
+    ot_sender_bytes: int,
+    ot_receiver_bytes: int,
+) -> GMWCost:
+    """Predict the cost of evaluating ``circuit`` with ``parties`` parties.
+
+    Every AND gate runs one OT per ordered party pair, so each party acts
+    ``(parties - 1)`` times as sender and ``(parties - 1)`` times as
+    receiver per AND gate: per-party traffic is linear in the block size
+    while the total is quadratic — the two sides of Figures 3 and 4.
+    """
+    stats = circuit.stats()
+    pairs = parties * (parties - 1)
+    per_party_bits = stats.and_gates * (parties - 1) * 8 * (ot_sender_bytes + ot_receiver_bytes)
+    return GMWCost(
+        parties=parties,
+        and_gates=stats.and_gates,
+        xor_gates=stats.xor_gates,
+        rounds=stats.and_depth,
+        total_ots=stats.and_gates * pairs,
+        ots_per_party=stats.and_gates * 2 * (parties - 1),
+        sent_bits_per_party=per_party_bits,
+    )

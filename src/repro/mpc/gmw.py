@@ -1,0 +1,264 @@
+"""The GMW protocol: n-party evaluation of Boolean circuits on XOR shares.
+
+This is the MPC engine DStress invokes for every computation step (§3.3,
+§3.6). Wire values are XOR-shared among the parties of a block:
+
+* XOR and NOT gates are local (XOR of shares / flip by party 0);
+* each AND gate needs one 1-out-of-2 OT per *ordered* pair of parties to
+  compute the cross terms of ``(XOR_i x_i)(XOR_j y_j)`` — this is where the
+  quadratic total cost and linear per-party cost of Figures 3–5 come from;
+* alternatively, AND gates can burn a Beaver triple from a trusted dealer
+  (the ``beaver`` mode, used for the backend ablation).
+
+Inputs arrive already shared and outputs stay shared: DStress never opens
+intermediate values (§3.3). The engine tracks per-party traffic in bits and
+interaction rounds (= AND depth), which feed the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.ot import ObliviousTransfer, SimulatedObliviousTransfer
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import CircuitError, ProtocolError
+from repro.mpc.circuit import Circuit, GateOp
+from repro.sharing.xor import reconstruct_value, share_value
+
+__all__ = ["GMWEngine", "GMWResult", "GMWTraffic"]
+
+
+@dataclass
+class GMWTraffic:
+    """Per-party and aggregate traffic/interaction statistics for one run."""
+
+    num_parties: int
+    sent_bits: List[int] = field(default_factory=list)
+    received_bits: List[int] = field(default_factory=list)
+    ot_count: int = 0
+    rounds: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.sent_bits:
+            self.sent_bits = [0] * self.num_parties
+        if not self.received_bits:
+            self.received_bits = [0] * self.num_parties
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.sent_bits) / 8.0
+
+    @property
+    def per_party_bytes(self) -> List[float]:
+        return [bits / 8.0 for bits in self.sent_bits]
+
+    @property
+    def max_party_bytes(self) -> float:
+        return max(self.per_party_bytes)
+
+
+@dataclass
+class GMWResult:
+    """Shares of the output buses after a GMW evaluation.
+
+    ``output_shares[name][p]`` is party ``p``'s share of output bus
+    ``name``, as an integer with one bit per bus wire.
+    """
+
+    num_parties: int
+    bus_widths: Dict[str, int]
+    output_shares: Dict[str, List[int]]
+    traffic: GMWTraffic
+
+    def reveal(self, name: str, signed: bool = False) -> int:
+        """Recombine the shares of one output bus (breaks secrecy; used by
+        tests and by the final aggregation reveal)."""
+        return reconstruct_value(self.output_shares[name], self.bus_widths[name], signed=signed)
+
+
+class GMWEngine:
+    """Evaluates circuits under the GMW protocol.
+
+    Parameters
+    ----------
+    num_parties:
+        Block size ``k + 1``.
+    ot:
+        OT backend for AND gates (ignored in ``beaver`` mode). Defaults to
+        the fast simulated backend with real-protocol byte accounting.
+    mode:
+        ``"ot"`` for OT-based AND gates (the GMW of the paper), ``"beaver"``
+        for trusted-dealer Beaver triples (ablation baseline).
+    """
+
+    def __init__(
+        self,
+        num_parties: int,
+        ot: Optional[ObliviousTransfer] = None,
+        mode: str = "ot",
+    ) -> None:
+        if num_parties < 2:
+            raise ProtocolError("GMW needs at least two parties")
+        if mode not in ("ot", "beaver"):
+            raise ProtocolError(f"unknown GMW mode {mode!r}")
+        self.num_parties = num_parties
+        self.ot = ot if ot is not None else SimulatedObliviousTransfer()
+        self.mode = mode
+
+    # -- share plumbing ------------------------------------------------------
+
+    def share_input(self, value: int, width: int, rng: DeterministicRNG) -> List[int]:
+        """Split a plaintext bus value into one share per party (used by the
+        initialization step, §3.6)."""
+        return share_value(value, width, self.num_parties, rng)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        circuit: Circuit,
+        shared_inputs: Dict[str, Sequence[int]],
+        rng: DeterministicRNG,
+    ) -> GMWResult:
+        """Run the protocol on pre-shared inputs.
+
+        ``shared_inputs[name]`` holds one integer share per party for the
+        named input bus; XOR of the shares is the plaintext value.
+        """
+        n = self.num_parties
+        for name in circuit.input_buses:
+            if name not in shared_inputs:
+                raise CircuitError(f"missing shares for input bus {name!r}")
+            if len(shared_inputs[name]) != n:
+                raise ProtocolError(
+                    f"input bus {name!r} has {len(shared_inputs[name])} shares, expected {n}"
+                )
+
+        traffic = GMWTraffic(num_parties=n)
+        party_rngs = [rng.fork(f"gmw-party-{p}") for p in range(n)]
+
+        # wire_shares[w] is the list of n share bits of wire w.
+        wire_shares: List[List[int]] = [[0] * n for _ in range(circuit.num_wires)]
+        # Constant one: party 0 holds 1 (a public constant needs no hiding).
+        wire_shares[circuit.one][0] = 1
+
+        for name, wires in circuit.input_buses.items():
+            shares = shared_inputs[name]
+            for position, wire in enumerate(wires):
+                for p in range(n):
+                    wire_shares[wire][p] = (shares[p] >> position) & 1
+
+        sender_bits = 8 * self.ot.sender_bytes_per_transfer(1)
+        receiver_bits = 8 * self.ot.receiver_bytes_per_transfer(1)
+
+        # Round counting: AND gates whose inputs are ready can share one
+        # round of interaction, so rounds == multiplicative depth.
+        and_depth = [0] * circuit.num_wires
+
+        for gate in circuit.gates:
+            out = gate.out
+            a_shares = wire_shares[gate.a]
+            if gate.op is GateOp.XOR:
+                b_shares = wire_shares[gate.b]
+                wire_shares[out] = [x ^ y for x, y in zip(a_shares, b_shares)]
+                and_depth[out] = max(and_depth[gate.a], and_depth[gate.b])
+            elif gate.op is GateOp.NOT:
+                flipped = list(a_shares)
+                flipped[0] ^= 1
+                wire_shares[out] = flipped
+                and_depth[out] = and_depth[gate.a]
+            else:  # AND
+                b_shares = wire_shares[gate.b]
+                if self.mode == "ot":
+                    z = self._and_via_ot(a_shares, b_shares, party_rngs, traffic,
+                                         sender_bits, receiver_bits)
+                else:
+                    z = self._and_via_beaver(a_shares, b_shares, rng, traffic)
+                wire_shares[out] = z
+                and_depth[out] = max(and_depth[gate.a], and_depth[gate.b]) + 1
+
+        traffic.rounds = max(and_depth) if and_depth else 0
+
+        output_shares: Dict[str, List[int]] = {}
+        bus_widths: Dict[str, int] = {}
+        for name, wires in circuit.output_buses.items():
+            shares = [0] * n
+            for position, wire in enumerate(wires):
+                for p in range(n):
+                    shares[p] |= wire_shares[wire][p] << position
+            output_shares[name] = shares
+            bus_widths[name] = len(wires)
+
+        return GMWResult(
+            num_parties=n,
+            bus_widths=bus_widths,
+            output_shares=output_shares,
+            traffic=traffic,
+        )
+
+    def _and_via_ot(
+        self,
+        x: List[int],
+        y: List[int],
+        party_rngs: List[DeterministicRNG],
+        traffic: GMWTraffic,
+        sender_bits: int,
+        receiver_bits: int,
+    ) -> List[int]:
+        """GMW AND: local terms plus one OT per ordered party pair.
+
+        ``z = XOR_i x_i y_i  XOR  XOR_{i != j} x_i y_j``; the cross term
+        ``x_i y_j`` is shared between sender ``i`` (holding ``x_i``) and
+        receiver ``j`` (holding ``y_j``): the sender masks with a random bit
+        ``r`` and offers ``(r, r XOR x_i)``.
+        """
+        n = self.num_parties
+        z = [x[p] & y[p] for p in range(n)]
+        for i in range(n):
+            x_i = x[i]
+            rng_i = party_rngs[i]
+            for j in range(n):
+                if i == j:
+                    continue
+                r = rng_i.randbit()
+                received = self.ot.transfer_bit(r, r ^ x_i, y[j], rng_i)
+                z[i] ^= r
+                z[j] ^= received
+                traffic.ot_count += 1
+                traffic.sent_bits[i] += sender_bits
+                traffic.sent_bits[j] += receiver_bits
+                traffic.received_bits[j] += sender_bits
+                traffic.received_bits[i] += receiver_bits
+        return z
+
+    def _and_via_beaver(
+        self,
+        x: List[int],
+        y: List[int],
+        rng: DeterministicRNG,
+        traffic: GMWTraffic,
+    ) -> List[int]:
+        """AND via a trusted-dealer Beaver triple (ablation backend).
+
+        The dealer shares a random triple ``c = a AND b``; the parties open
+        ``d = x XOR a`` and ``e = y XOR b`` (two bits broadcast per party)
+        and set ``z_p = c_p XOR d.b_p XOR e.a_p`` (+ ``d.e`` at party 0).
+        """
+        n = self.num_parties
+        a_plain = rng.randbit()
+        b_plain = rng.randbit()
+        a = share_value(a_plain, 1, n, rng)
+        b = share_value(b_plain, 1, n, rng)
+        c = share_value(a_plain & b_plain, 1, n, rng)
+        d = 0
+        e = 0
+        for p in range(n):
+            d ^= x[p] ^ a[p]
+            e ^= y[p] ^ b[p]
+            # Each party broadcasts its two mask bits to the other n-1.
+            traffic.sent_bits[p] += 2 * (n - 1)
+            traffic.received_bits[p] += 2 * (n - 1)
+        z = [c[p] ^ (d & b[p]) ^ (e & a[p]) for p in range(n)]
+        z[0] ^= d & e
+        return z

@@ -1,0 +1,272 @@
+"""In-MPC noise sampling (Dwork et al. [23] style).
+
+The aggregation block must add Laplace noise to the final output *inside*
+MPC (§3.6): the members combine random shares into a seed, expand the seed
+into uniform bits, and run those bits through a circuit that outputs one
+sample of the discretized Laplace (two-sided geometric) distribution. No
+single member ever sees the noise value, so nobody can subtract it.
+
+The circuit is an inverse-CDF sampler: the uniform bits form a B-bit number
+``u`` that is compared against the 2M precomputed CDF thresholds of the
+target distribution over the window ``[-M, M]``; the sample is
+``-M + #{thresholds <= u}``. Comparators against constants are cheap, which
+still leaves this the largest MPC circuit in the system — matching the
+paper's observation that the noising step is the most expensive
+microbenchmark (Figure 3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.exceptions import CircuitError
+from repro.mpc.builder import Bus, CircuitBuilder
+from repro.mpc.circuit import Circuit
+
+__all__ = [
+    "two_sided_geometric_cdf",
+    "cdf_thresholds",
+    "build_noise_sampler",
+    "build_noised_sum_circuit",
+    "sample_noise_plaintext",
+    "geometric_bit_probabilities",
+    "build_geometric_bits_sampler",
+    "sample_geometric_bits_plaintext",
+    "geometric_bits_seed_width",
+]
+
+
+def two_sided_geometric_cdf(alpha: float, d: int) -> float:
+    """CDF of the two-sided geometric distribution with parameter ``alpha``.
+
+    ``P(Y = d) = (1 - alpha)/(1 + alpha) * alpha^|d|`` (Ghosh et al. [33]);
+    this is the discretized Laplace used throughout the paper.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise CircuitError("alpha must lie in (0, 1)")
+    if d < 0:
+        return alpha ** (-d) / (1.0 + alpha)
+    return 1.0 - alpha ** (d + 1) / (1.0 + alpha)
+
+
+def cdf_thresholds(alpha: float, bound: int, uniform_bits: int) -> List[int]:
+    """Integer CDF thresholds over the window ``[-bound, bound]``.
+
+    Threshold ``i`` (for ``i = 0 .. 2*bound - 1``) is
+    ``round(P(Y <= -bound + i) * 2**uniform_bits)``; the sampled value is
+    ``-bound + #{i : u >= T_i}``. Tail mass outside the window collapses
+    onto the window edges (a truncated sampler, as any finite circuit
+    must be).
+    """
+    if bound < 1:
+        raise CircuitError("noise bound must be at least 1")
+    grid = 1 << uniform_bits
+    thresholds = []
+    for i in range(2 * bound):
+        cumulative = two_sided_geometric_cdf(alpha, -bound + i)
+        thresholds.append(min(grid - 1, max(1, round(cumulative * grid))))
+    return thresholds
+
+
+def build_noise_sampler(
+    builder: CircuitBuilder,
+    uniform: Bus,
+    alpha: float,
+    bound: int,
+    output_width: int,
+) -> Bus:
+    """Append an inverse-CDF noise sampler to ``builder``.
+
+    ``uniform`` is a bus of shared uniform random bits; the returned bus
+    holds a two's-complement sample of the two-sided geometric distribution
+    truncated to ``[-bound, bound]``.
+    """
+    thresholds = cdf_thresholds(alpha, bound, len(uniform))
+    indicator_bits = []
+    for threshold in thresholds:
+        below = builder.lt_unsigned(uniform, builder.const_bus(threshold, len(uniform)))
+        indicator_bits.append(builder.circuit.inv(below))
+    count = popcount(builder, indicator_bits)
+    count = builder.zero_extend(count, output_width)
+    return builder.sub(count, builder.const_bus(bound, output_width), width=output_width)
+
+
+def popcount(builder: CircuitBuilder, bits: List[int]) -> Bus:
+    """Balanced adder tree summing single-bit wires into a count bus."""
+    if not bits:
+        return [builder.circuit.zero]
+    buses: List[Bus] = [[bit] for bit in bits]
+    while len(buses) > 1:
+        merged = []
+        for i in range(0, len(buses) - 1, 2):
+            width = max(len(buses[i]), len(buses[i + 1])) + 1
+            merged.append(builder.add(buses[i], buses[i + 1], width=width))
+        if len(buses) % 2:
+            merged.append(buses[-1])
+        buses = merged
+    return buses[0]
+
+
+def geometric_bit_probabilities(alpha: float, magnitude_bits: int) -> List[float]:
+    """Bernoulli parameters of a geometric's binary digits.
+
+    For ``G`` geometric on {0, 1, ...} with ``P(G = g) ~ alpha^g``, the
+    binary digits of ``G`` are *independent*, with
+    ``P(bit_i = 1) = alpha^(2^i) / (1 + alpha^(2^i))`` — the observation
+    Dwork et al. [23] exploit to sample noise inside MPC with a handful of
+    biased coin flips instead of a giant inverse-CDF table. Truncating to
+    ``magnitude_bits`` digits samples exactly ``G | G < 2^magnitude_bits``.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise CircuitError("alpha must lie in (0, 1)")
+    probabilities = []
+    for i in range(magnitude_bits):
+        a_pow = alpha ** (1 << i)
+        probabilities.append(a_pow / (1.0 + a_pow))
+    return probabilities
+
+
+def geometric_bits_seed_width(magnitude_bits: int, precision_bits: int) -> int:
+    """Uniform bits consumed by one two-sided geometric sample."""
+    return 2 * magnitude_bits * precision_bits
+
+
+def build_geometric_bits_sampler(
+    builder: CircuitBuilder,
+    uniform: Bus,
+    alpha: float,
+    magnitude_bits: int,
+    precision_bits: int,
+    output_width: int,
+) -> Bus:
+    """Append a Dwork-style two-sided geometric sampler to ``builder``.
+
+    The sample is ``G1 - G2`` for two independent (truncated) geometrics;
+    each geometric is assembled from ``magnitude_bits`` independent biased
+    coins, and each coin is one comparator of ``precision_bits`` uniform
+    bits against a public threshold. Cost is
+    ``2 * magnitude_bits`` comparators — orders of magnitude smaller than
+    the inverse-CDF sampler at realistic noise scales.
+    """
+    needed = geometric_bits_seed_width(magnitude_bits, precision_bits)
+    if len(uniform) != needed:
+        raise CircuitError(f"sampler needs exactly {needed} uniform bits, got {len(uniform)}")
+    if output_width <= magnitude_bits:
+        raise CircuitError("output width must exceed the magnitude width")
+    probabilities = geometric_bit_probabilities(alpha, magnitude_bits)
+    grid = 1 << precision_bits
+
+    def one_geometric(offset: int) -> Bus:
+        bits = []
+        for i, probability in enumerate(probabilities):
+            start = offset + i * precision_bits
+            chunk = uniform[start : start + precision_bits]
+            threshold = min(grid - 1, max(0, round(probability * grid)))
+            bits.append(builder.lt_unsigned(chunk, builder.const_bus(threshold, precision_bits)))
+        return bits  # LSB-first magnitude: plain wiring, no gates
+
+    g1 = builder.zero_extend(one_geometric(0), output_width)
+    g2 = builder.zero_extend(one_geometric(magnitude_bits * precision_bits), output_width)
+    return builder.sub(g1, g2, width=output_width)
+
+
+def sample_geometric_bits_plaintext(
+    alpha: float, magnitude_bits: int, precision_bits: int, seed: int
+) -> int:
+    """Bit-exact plaintext mirror of :func:`build_geometric_bits_sampler`.
+
+    ``seed`` packs the uniform bus LSB-first, exactly as the circuit input.
+    """
+    probabilities = geometric_bit_probabilities(alpha, magnitude_bits)
+    grid = 1 << precision_bits
+    mask = grid - 1
+
+    def one_geometric(offset: int) -> int:
+        value = 0
+        for i, probability in enumerate(probabilities):
+            chunk = (seed >> (offset + i * precision_bits)) & mask
+            threshold = min(grid - 1, max(0, round(probability * grid)))
+            if chunk < threshold:
+                value |= 1 << i
+        return value
+
+    return one_geometric(0) - one_geometric(magnitude_bits * precision_bits)
+
+
+def build_noised_sum_circuit(
+    num_inputs: int,
+    value_bits: int,
+    alpha: float,
+    bound: int,
+    uniform_bits: int = 32,
+) -> Circuit:
+    """The aggregation+noising circuit of §3.6.
+
+    Inputs: ``state_0 .. state_{num_inputs-1}`` (signed, ``value_bits``
+    wide) and ``seed`` (``uniform_bits`` of shared randomness). Output
+    ``noised_sum = sum_i state_i + Y`` where ``Y`` is two-sided geometric.
+    The sum is carried at full width to avoid overflow.
+    """
+    builder = CircuitBuilder()
+    extra = max(1, (num_inputs).bit_length())
+    total_width = value_bits + extra
+    acc = builder.const_bus(0, total_width)
+    for index in range(num_inputs):
+        bus = builder.input_bus(f"state_{index}", value_bits)
+        acc = builder.add(acc, builder.sign_extend(bus, total_width), width=total_width)
+    seed = builder.input_bus("seed", uniform_bits)
+    noise = build_noise_sampler(builder, seed, alpha, bound, total_width)
+    noised = builder.add(acc, noise, width=total_width)
+    builder.output_bus("noised_sum", noised)
+    return builder.circuit
+
+
+def sample_noise_plaintext(alpha: float, bound: int, uniform_bits: int, u: int) -> int:
+    """Bit-exact plaintext mirror of :func:`build_noise_sampler`."""
+    thresholds = cdf_thresholds(alpha, bound, uniform_bits)
+    return -bound + sum(1 for t in thresholds if u >= t)
+
+
+def build_noised_sum_bits_circuit(
+    num_inputs: int,
+    value_bits: int,
+    alpha: float,
+    magnitude_bits: int,
+    precision_bits: int = 16,
+) -> Circuit:
+    """Aggregation+noising circuit using the Dwork-style bit sampler.
+
+    This is the variant the secure engine uses: at realistic noise scales
+    (Laplace scale of thousands of fixed-point LSBs) the inverse-CDF table
+    would dwarf the rest of the system, while this circuit stays at
+    ``2 * magnitude_bits`` comparators. Input/output buses match
+    :func:`build_noised_sum_circuit`, except the ``seed`` bus width is
+    ``geometric_bits_seed_width(magnitude_bits, precision_bits)``.
+    """
+    builder = CircuitBuilder()
+    extra = max(1, num_inputs.bit_length())
+    total_width = max(value_bits + extra, magnitude_bits + 2)
+    acc = builder.const_bus(0, total_width)
+    for index in range(num_inputs):
+        bus = builder.input_bus(f"state_{index}", value_bits)
+        acc = builder.add(acc, builder.sign_extend(bus, total_width), width=total_width)
+    seed = builder.input_bus("seed", geometric_bits_seed_width(magnitude_bits, precision_bits))
+    noise = build_geometric_bits_sampler(
+        builder, seed, alpha, magnitude_bits, precision_bits, total_width
+    )
+    noised = builder.add(acc, noise, width=total_width)
+    builder.output_bus("noised_sum", noised)
+    return builder.circuit
+
+
+def build_partial_sum_circuit(num_inputs: int, value_bits: int, output_bits: int) -> Circuit:
+    """Un-noised partial-sum circuit for the inner nodes of a hierarchical
+    aggregation tree (§3.6): noise is only added once, at the root."""
+    builder = CircuitBuilder()
+    acc = builder.const_bus(0, output_bits)
+    for index in range(num_inputs):
+        bus = builder.input_bus(f"state_{index}", value_bits)
+        acc = builder.add(acc, builder.sign_extend(bus, output_bits), width=output_bits)
+    builder.output_bus("partial_sum", acc)
+    return builder.circuit

@@ -1,0 +1,58 @@
+"""Differential privacy: mechanisms, budgets, dollar-DP, edge privacy."""
+
+from repro.privacy.budget import DEFAULT_EPSILON_MAX, BudgetCharge, PrivacyAccountant
+from repro.privacy.dollar import DEFAULT_GRANULARITY_USD, DollarPrivacySpec
+from repro.privacy.edge_privacy import (
+    EdgePrivacyAnalysis,
+    alpha_max_for_failure_budget,
+    dlog_table_entries,
+    failure_probability,
+    mechanism_alpha,
+    per_iteration_epsilon,
+    total_transfers,
+    transfer_sensitivity,
+)
+from repro.privacy.mechanisms import (
+    LaplaceMechanism,
+    TwoSidedGeometricMechanism,
+    geometric_sample,
+    laplace_mechanism,
+    laplace_sample,
+    laplace_tail_probability,
+    two_sided_geometric_mechanism,
+    two_sided_geometric_sample,
+)
+from repro.privacy.utility import (
+    UtilityAnalysis,
+    epsilon_for_precision,
+    measure_noise_impact,
+    runs_per_year,
+)
+
+__all__ = [
+    "BudgetCharge",
+    "DEFAULT_EPSILON_MAX",
+    "DEFAULT_GRANULARITY_USD",
+    "DollarPrivacySpec",
+    "EdgePrivacyAnalysis",
+    "LaplaceMechanism",
+    "PrivacyAccountant",
+    "TwoSidedGeometricMechanism",
+    "UtilityAnalysis",
+    "alpha_max_for_failure_budget",
+    "dlog_table_entries",
+    "epsilon_for_precision",
+    "failure_probability",
+    "geometric_sample",
+    "laplace_mechanism",
+    "laplace_sample",
+    "laplace_tail_probability",
+    "measure_noise_impact",
+    "mechanism_alpha",
+    "per_iteration_epsilon",
+    "runs_per_year",
+    "total_transfers",
+    "transfer_sensitivity",
+    "two_sided_geometric_mechanism",
+    "two_sided_geometric_sample",
+]

@@ -1,0 +1,87 @@
+"""Privacy-budget accounting with sequential composition.
+
+The paper maintains a privacy budget ``eps_max = ln 2`` that is replenished
+yearly (§4.5) and drawn down both by query releases and by the edge-privacy
+leakage of the transfer protocol (Appendix B). :class:`PrivacyAccountant`
+tracks the draw-downs, refuses charges that would exceed the budget, and
+models the replenishment schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.exceptions import PrivacyBudgetExceeded, SensitivityError
+
+__all__ = ["BudgetCharge", "PrivacyAccountant", "DEFAULT_EPSILON_MAX"]
+
+#: The paper's choice: an adversary's confidence in any fact about the
+#: input may at most double, so ``e^eps = 2``.
+DEFAULT_EPSILON_MAX = math.log(2.0)
+
+
+@dataclass(frozen=True)
+class BudgetCharge:
+    """One recorded draw against the budget."""
+
+    label: str
+    epsilon: float
+    period: int
+
+
+@dataclass
+class PrivacyAccountant:
+    """Sequential-composition accountant with periodic replenishment.
+
+    Sequential composition: the total privacy loss of consecutive releases
+    is the sum of their epsilons, so the accountant simply sums charges
+    within the current period. ``replenish`` starts a new period (the
+    paper replenishes once per year because banks publicly disclose
+    aggregate positions annually).
+    """
+
+    epsilon_max: float = DEFAULT_EPSILON_MAX
+    charges: List[BudgetCharge] = field(default_factory=list)
+    period: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epsilon_max <= 0:
+            raise SensitivityError("epsilon_max must be positive")
+
+    @property
+    def spent(self) -> float:
+        """Total epsilon consumed in the current period."""
+        return sum(c.epsilon for c in self.charges if c.period == self.period)
+
+    @property
+    def remaining(self) -> float:
+        return self.epsilon_max - self.spent
+
+    def can_afford(self, epsilon: float) -> bool:
+        return epsilon <= self.remaining + 1e-12
+
+    def charge(self, epsilon: float, label: str = "query") -> BudgetCharge:
+        """Record a draw of ``epsilon``; raise if the budget would overrun."""
+        if epsilon < 0:
+            raise SensitivityError("cannot charge a negative epsilon")
+        if not self.can_afford(epsilon):
+            raise PrivacyBudgetExceeded(
+                f"charge of {epsilon:.4g} exceeds remaining budget "
+                f"{self.remaining:.4g} (of {self.epsilon_max:.4g})"
+            )
+        charge = BudgetCharge(label=label, epsilon=epsilon, period=self.period)
+        self.charges.append(charge)
+        return charge
+
+    def replenish(self) -> None:
+        """Start a new budget period (e.g. a new disclosure year)."""
+        self.period += 1
+
+    def queries_per_period(self, epsilon_per_query: float) -> int:
+        """How many identical releases fit in one period — the paper's
+        '(ln 2)/0.23 = 3 runs per year' computation."""
+        if epsilon_per_query <= 0:
+            raise SensitivityError("epsilon per query must be positive")
+        return int(self.epsilon_max / epsilon_per_query)

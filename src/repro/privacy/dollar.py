@@ -1,0 +1,75 @@
+"""Dollar-differential privacy (Flood et al. [30], §4.1).
+
+Standard DP protects the presence of one *record*; in the financial
+setting the protected object is a *position*: two input data sets are
+similar when one can be turned into the other by reallocating at most ``T``
+dollars within a single portfolio. Choosing the granularity ``T`` sets the
+unit in which program sensitivity is measured, so the Laplace mechanism
+draws noise from ``T * Lap(s / eps)``.
+
+The paper follows Flood et al. in using ``T = $1 billion`` — roughly the
+equity of the 100th largest U.S. bank — which completely protects all
+positions up to that size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import SensitivityError
+from repro.privacy.mechanisms import laplace_mechanism, laplace_tail_probability
+
+__all__ = ["DollarPrivacySpec", "DEFAULT_GRANULARITY_USD"]
+
+#: $1 billion, the granularity suggested by Flood et al. [30] and adopted
+#: in §4.5.
+DEFAULT_GRANULARITY_USD = 1e9
+
+
+@dataclass(frozen=True)
+class DollarPrivacySpec:
+    """Parameters of a dollar-DP release.
+
+    Attributes
+    ----------
+    granularity:
+        The protection threshold ``T`` in dollars: portfolios differing by
+        a reallocation of up to ``T`` dollars are indistinguishable up to
+        ``e^epsilon``.
+    sensitivity:
+        The program's sensitivity in units of ``T`` (e.g. ``2/r`` for
+        Elliott-Golub-Jackson with leverage bound ``r``).
+    epsilon:
+        The per-release privacy parameter.
+    """
+
+    granularity: float = DEFAULT_GRANULARITY_USD
+    sensitivity: float = 1.0
+    epsilon: float = 0.23
+
+    def __post_init__(self) -> None:
+        if self.granularity <= 0:
+            raise SensitivityError("granularity T must be positive")
+        if self.sensitivity < 0:
+            raise SensitivityError("sensitivity must be non-negative")
+        if self.epsilon <= 0:
+            raise SensitivityError("epsilon must be positive")
+
+    @property
+    def noise_scale_dollars(self) -> float:
+        """Scale of the Laplace noise in dollars: ``T * s / eps``."""
+        return self.granularity * self.sensitivity / self.epsilon
+
+    def release(self, value_dollars: float, rng: DeterministicRNG) -> float:
+        """Release a dollar-valued output under dollar-DP."""
+        return laplace_mechanism(
+            value_dollars / self.granularity,
+            self.sensitivity,
+            self.epsilon,
+            rng,
+        ) * self.granularity
+
+    def error_probability(self, error_dollars: float) -> float:
+        """``P(|noise| > error_dollars)`` for this release."""
+        return laplace_tail_probability(self.noise_scale_dollars, error_dollars)

@@ -1,0 +1,39 @@
+"""Additive secret sharing over ``Z_m``.
+
+Two places in DStress need *additive* rather than XOR sharing:
+
+* the aggregation step combines "random shares" into a seed (§3.6);
+* the analysis of the transfer protocol views the bit subshares as integers
+  whose *sum* (not XOR) travels through the homomorphic aggregation.
+
+Shares of ``V`` are ``s_1 .. s_n`` with ``V = sum_i s_i (mod m)``; any
+``n-1`` of them are jointly uniform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import ProtocolError
+
+__all__ = ["share_additive", "reconstruct_additive"]
+
+
+def share_additive(value: int, modulus: int, parties: int, rng: DeterministicRNG) -> List[int]:
+    """Split ``value`` into ``parties`` additive shares mod ``modulus``."""
+    if parties < 1:
+        raise ProtocolError("need at least one party")
+    if modulus < 2:
+        raise ProtocolError("modulus must be at least 2")
+    shares = [rng.randbelow(modulus) for _ in range(parties - 1)]
+    shares.append((value - sum(shares)) % modulus)
+    return shares
+
+
+def reconstruct_additive(shares: Sequence[int], modulus: int, signed: bool = False) -> int:
+    """Recombine additive shares; ``signed`` maps to ``(-m/2, m/2]``."""
+    value = sum(shares) % modulus
+    if signed and value > modulus // 2:
+        value -= modulus
+    return value

@@ -1,0 +1,51 @@
+"""Subshare splitting for the message transfer protocol (§3.5).
+
+Strawman #2 onwards, each member ``x`` of the sending block splits its share
+``s_x`` into ``k+1`` subshares, one per member of the receiving block, with
+``s_x = XOR_y s_{x,y}``. The receivers recombine the subshares they receive
+(one from each sender) into fresh shares of the same message; as long as one
+member of each block is honest, a coalition always misses at least the
+subshare exchanged between the two honest members.
+
+The functions here operate on single bits (the protocol transfers messages
+bit by bit from strawman #3 onwards) and on L-bit words for the higher-level
+strawmen.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.rng import DeterministicRNG
+from repro.sharing.xor import share_bit, share_value, xor_all
+
+__all__ = [
+    "split_bit_subshares",
+    "split_word_subshares",
+    "recombine_received",
+    "subshare_matrix_bits",
+]
+
+
+def split_bit_subshares(share_bit_value: int, receivers: int, rng: DeterministicRNG) -> List[int]:
+    """Split one sender's bit share into one subshare per receiver."""
+    return share_bit(share_bit_value, receivers, rng)
+
+
+def split_word_subshares(share_word: int, bits: int, receivers: int, rng: DeterministicRNG) -> List[int]:
+    """Split one sender's L-bit share into one L-bit subshare per receiver."""
+    return share_value(share_word, bits, receivers, rng)
+
+
+def subshare_matrix_bits(
+    sender_shares: Sequence[int], receivers: int, rng: DeterministicRNG
+) -> List[List[int]]:
+    """Split every sender's bit share: result[x][y] is sender x's subshare
+    for receiver y. XOR over both indices equals the original message bit."""
+    return [split_bit_subshares(share, receivers, rng) for share in sender_shares]
+
+
+def recombine_received(received: Sequence[int]) -> int:
+    """Receiver-side recombination: XOR the subshares received from every
+    sender into this receiver's fresh share of the message."""
+    return xor_all(list(received))

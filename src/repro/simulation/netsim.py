@@ -1,0 +1,92 @@
+"""Simulated deployment: per-node traffic and operation metering.
+
+The real DStress runs one node per participant on a WAN; we run every node
+in one process and *meter* what would have crossed the network. Meters are
+deliberately dumb — they only add up what the protocol layers report — so
+the numbers in the bandwidth figures are straight protocol arithmetic, not
+wall-clock artifacts of the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["NodeStats", "TrafficMeter", "PhaseTimer"]
+
+
+@dataclass
+class NodeStats:
+    """Per-node counters for one run."""
+
+    bytes_sent: float = 0.0
+    bytes_received: float = 0.0
+    exponentiations: int = 0
+    ot_transfers: int = 0
+    gmw_evaluations: int = 0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_sent + self.bytes_received
+
+
+class TrafficMeter:
+    """Aggregates :class:`NodeStats` across all simulated nodes."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[int, NodeStats] = {}
+
+    def node(self, node_id: int) -> NodeStats:
+        if node_id not in self._stats:
+            self._stats[node_id] = NodeStats()
+        return self._stats[node_id]
+
+    def record_send(self, src: int, dst: int, num_bytes: float) -> None:
+        """A point-to-point message: bytes leave ``src`` and enter ``dst``."""
+        self.node(src).bytes_sent += num_bytes
+        self.node(dst).bytes_received += num_bytes
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self._stats)
+
+    @property
+    def total_bytes_sent(self) -> float:
+        return sum(s.bytes_sent for s in self._stats.values())
+
+    def max_node_bytes_sent(self) -> float:
+        return max((s.bytes_sent for s in self._stats.values()), default=0.0)
+
+    def mean_node_bytes_sent(self) -> float:
+        if not self._stats:
+            return 0.0
+        return self.total_bytes_sent / len(self._stats)
+
+    def mean_node_total_bytes(self) -> float:
+        if not self._stats:
+            return 0.0
+        return sum(s.total_bytes for s in self._stats.values()) / len(self._stats)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "nodes": len(self._stats),
+            "total_bytes_sent": self.total_bytes_sent,
+            "mean_node_bytes_sent": self.mean_node_bytes_sent(),
+            "max_node_bytes_sent": self.max_node_bytes_sent(),
+            "total_exponentiations": sum(s.exponentiations for s in self._stats.values()),
+            "total_ot_transfers": sum(s.ot_transfers for s in self._stats.values()),
+        }
+
+
+@dataclass
+class PhaseTimer:
+    """Wall-clock seconds accumulated per execution phase."""
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, elapsed: float) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())

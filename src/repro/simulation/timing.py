@@ -1,0 +1,106 @@
+"""Calibrated cost model for DStress deployments.
+
+The paper's scalability numbers (Figure 6, the 4.8-hour headline) are not
+measured at N = 1750 — they are *projected* from microbenchmarks. This
+module reproduces that estimation pipeline: measure the unit costs of the
+two expensive primitives (a GMW AND-gate OT and a group exponentiation) on
+this machine, then combine them with protocol operation counts.
+
+Calibration constants can also be injected, which is how the benchmark
+suite reports projections in the paper's own regime (their per-OT and
+per-exponentiation costs on 2014 EC2 hardware) next to ours.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.group import CyclicGroup, default_group
+from repro.crypto.rng import DeterministicRNG
+from repro.mpc.builder import CircuitBuilder
+from repro.mpc.gmw import GMWEngine
+
+__all__ = ["CostConstants", "measure_cost_constants", "PAPER_COST_CONSTANTS"]
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Unit costs everything else is projected from.
+
+    Attributes
+    ----------
+    seconds_per_ot:
+        Wall time of one GMW AND-gate OT (amortized, extension-style).
+    seconds_per_exp:
+        Wall time of one group exponentiation.
+    seconds_per_share:
+        Generating and delivering one share word (init step).
+    label:
+        Where these constants came from (machine or paper regime).
+    """
+
+    seconds_per_ot: float
+    seconds_per_exp: float
+    seconds_per_share: float = 2e-6
+    label: str = "measured"
+
+
+#: Constants back-solved from the paper's §5.2 microbenchmarks: a 20-node
+#: EN step (D=100) took ~60 s over ~5M per-party OT invocations
+#: (~1.3e-5 s each), and a 20-node single-message transfer took 610 ms
+#: over ~870 critical-path exponentiations (~7e-4 s each on 2014 EC2
+#: m3.xlarge with OpenSSL secp384r1).
+PAPER_COST_CONSTANTS = CostConstants(
+    seconds_per_ot=1.3e-5,
+    seconds_per_exp=7e-4,
+    seconds_per_share=2e-6,
+    label="paper (EC2 m3.xlarge, Wysteria/OpenSSL)",
+)
+
+
+def measure_cost_constants(
+    group: Optional[CyclicGroup] = None,
+    gmw_parties: int = 3,
+    sample_and_gates: int = 64,
+) -> CostConstants:
+    """Measure unit costs on the current machine.
+
+    Times a small GMW evaluation (division by AND count and party pairs
+    gives the per-OT cost) and a batch of exponentiations in the given
+    group. Takes well under a second — cheap enough to run at benchmark
+    startup.
+    """
+    group = group if group is not None else default_group()
+    rng = DeterministicRNG("calibration")
+
+    # --- per-OT cost from a pure-AND circuit ------------------------------
+    builder = CircuitBuilder()
+    a = builder.input_bus("a", sample_and_gates)
+    b = builder.input_bus("b", sample_and_gates)
+    builder.output_bus("out", builder.bitwise_and(a, b))
+    circuit = builder.circuit
+    engine = GMWEngine(gmw_parties)
+    shares = {
+        "a": engine.share_input(rng.randbits(sample_and_gates), sample_and_gates, rng),
+        "b": engine.share_input(rng.randbits(sample_and_gates), sample_and_gates, rng),
+    }
+    started = time.perf_counter()
+    result = engine.evaluate(circuit, shares, rng)
+    elapsed = time.perf_counter() - started
+    seconds_per_ot = elapsed / max(1, result.traffic.ot_count)
+
+    # --- per-exponentiation cost ------------------------------------------
+    base = group.generator
+    exponents = [group.random_scalar(rng) for _ in range(32)]
+    started = time.perf_counter()
+    for exponent in exponents:
+        base = group.exp(base, exponent)
+    per_exp = (time.perf_counter() - started) / len(exponents)
+
+    return CostConstants(
+        seconds_per_ot=seconds_per_ot,
+        seconds_per_exp=per_exp,
+        label=f"measured ({group.name})",
+    )

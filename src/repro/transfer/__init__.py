@@ -1,0 +1,39 @@
+"""The DStress message transfer protocol (§3.5, Appendix A) and strawmen."""
+
+from repro.transfer.certificates import (
+    BlockCertificate,
+    MemberKeys,
+    build_certificate,
+    certificate_digest,
+    generate_member_keys,
+    verify_certificate,
+)
+from repro.transfer.protocol import (
+    AggregatedShare,
+    EncryptedSubshare,
+    MessageTransferProtocol,
+    TransferResult,
+    TransferTraffic,
+)
+from repro.transfer.scheme import ShareTransferScheme, TransferInstance
+from repro.transfer.strawman import Strawman1, Strawman2, Strawman3, StrawmanOutcome
+
+__all__ = [
+    "AggregatedShare",
+    "BlockCertificate",
+    "EncryptedSubshare",
+    "MemberKeys",
+    "MessageTransferProtocol",
+    "ShareTransferScheme",
+    "Strawman1",
+    "Strawman2",
+    "Strawman3",
+    "StrawmanOutcome",
+    "TransferInstance",
+    "TransferResult",
+    "TransferTraffic",
+    "build_certificate",
+    "certificate_digest",
+    "generate_member_keys",
+    "verify_certificate",
+]

@@ -1,0 +1,179 @@
+"""The share transfer scheme of Appendix A, function for function.
+
+Appendix A formalizes the §3.5 protocol as seven randomized algorithms —
+``Setup``, ``RandomizeKeys``, ``Encrypt``, ``Aggregate``, ``Adjust``,
+``Decrypt``, ``Recover`` — and proves (Theorem 1) that the value XOR-shared
+in block ``B_u`` before the transfer equals the value XOR-shared in ``B_v``
+after it. This module implements those algorithms with the same signatures
+so the correctness theorem can be checked property-style, and so the
+DStress transfer protocol (:mod:`repro.transfer.protocol`) can be built by
+iterating the scheme over message bits.
+
+The scheme moves a *single bit* ``V = XOR_x b_x`` held by the ``k+1``
+members of ``B_u`` into fresh shares held by the ``k+1`` members of
+``B_v``. All ciphertexts are exponential-ElGamal, so node ``u`` can sum
+subshares homomorphically and node ``v`` can adjust ephemeral keys, exactly
+as in the construction of Appendix A.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from repro.crypto.elgamal import Ciphertext, ExponentialElGamal, KeyPair
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import ProtocolError
+from repro.privacy.mechanisms import two_sided_geometric_sample
+from repro.sharing.xor import share_bit, xor_all
+
+__all__ = ["ShareTransferScheme", "TransferInstance"]
+
+
+@dataclass
+class TransferInstance:
+    """Every intermediate artifact of one scheme execution.
+
+    Kept around so tests can play the adversary of the
+    ``Transfer_{Advk,Pi}`` game: a coalition's view is a subset of these
+    fields.
+    """
+
+    sender_shares: List[int]
+    subshares: List[List[int]]
+    encrypted_subshares: List[List[Ciphertext]]
+    aggregated: List[Ciphertext]
+    noise_terms: List[int]
+    adjusted: List[Ciphertext]
+    decrypted_sums: List[int]
+    receiver_shares: List[int]
+
+
+class ShareTransferScheme:
+    """``DStressTransfer`` from Appendix A.2.
+
+    Parameters
+    ----------
+    elgamal:
+        Exponential ElGamal over the chosen DDH group; its dlog table must
+        cover ``k + 1`` plus the noise the scheme can add.
+    noise_alpha:
+        Parameter of the geometric noise (``alpha^{2/Delta}`` in the
+        Appendix B notation). ``None`` disables noising — that is exactly
+        strawman #3, kept here for the ablation.
+    """
+
+    def __init__(self, elgamal: ExponentialElGamal, noise_alpha: Optional[float] = None) -> None:
+        self.elgamal = elgamal
+        self.noise_alpha = noise_alpha
+
+    # -- the seven algorithms of Appendix A.1 --------------------------------
+
+    def setup(self, block_size: int, rng: DeterministicRNG) -> List[KeyPair]:
+        """``Setup``: one key pair per member of the receiving block."""
+        if block_size < 2:
+            raise ProtocolError("blocks need at least two members")
+        return [self.elgamal.keygen(rng) for _ in range(block_size)]
+
+    def randomize_keys(self, public_keys: Sequence[Any], neighbor_key: int) -> List[Any]:
+        """``RandomizeKeys``: raise every public key to the neighbor key."""
+        return [self.elgamal.rerandomize_key(pk, neighbor_key) for pk in public_keys]
+
+    def encrypt(
+        self,
+        sender_shares: Sequence[int],
+        randomized_keys: Sequence[Any],
+        rng: DeterministicRNG,
+    ) -> tuple[List[List[int]], List[List[Ciphertext]]]:
+        """``Encrypt``: split each share into subshares and encrypt one per
+        receiver. Returns (subshares, ciphertexts), both indexed
+        ``[sender][receiver]``."""
+        receivers = len(randomized_keys)
+        subshares = [share_bit(s, receivers, rng) for s in sender_shares]
+        ciphertexts = [
+            [
+                self.elgamal.encrypt_int(randomized_keys[y], subshares[x][y], rng)
+                for y in range(receivers)
+            ]
+            for x in range(len(sender_shares))
+        ]
+        return subshares, ciphertexts
+
+    def aggregate(
+        self,
+        ciphertexts: Sequence[Sequence[Ciphertext]],
+        rng: DeterministicRNG,
+    ) -> tuple[List[Ciphertext], List[int]]:
+        """``Aggregate``: node ``u`` homomorphically sums the column of
+        subshare ciphertexts for each receiver, then adds an *even* random
+        offset ``2 * Geo(alpha)`` (the final-protocol noising; §3.5)."""
+        receivers = len(ciphertexts[0])
+        aggregated = []
+        noise_terms = []
+        for y in range(receivers):
+            column = [row[y] for row in ciphertexts]
+            total = self.elgamal.sum_ciphertexts(column)
+            noise = 0
+            if self.noise_alpha is not None:
+                # "An even random number from 2*Geo(alpha)" (§3.5) — Geo is
+                # the two-sided geometric of Ghosh et al. [33].
+                noise = 2 * two_sided_geometric_sample(self.noise_alpha, rng)
+                total = self.elgamal.add_plain(total, noise)
+            aggregated.append(total)
+            noise_terms.append(noise)
+        return aggregated, noise_terms
+
+    def adjust(self, aggregated: Sequence[Ciphertext], neighbor_key: int) -> List[Ciphertext]:
+        """``Adjust``: node ``v`` raises each ephemeral key to the neighbor
+        key so the original secret keys decrypt."""
+        return [self.elgamal.adjust(ct, neighbor_key) for ct in aggregated]
+
+    def decrypt(self, adjusted: Sequence[Ciphertext], key_pairs: Sequence[KeyPair]) -> List[int]:
+        """``Decrypt``: each receiver recovers its noised subshare sum."""
+        if len(adjusted) != len(key_pairs):
+            raise ProtocolError("one ciphertext per receiver expected")
+        return [
+            self.elgamal.decrypt_int(kp.secret, ct)
+            for ct, kp in zip(adjusted, key_pairs)
+        ]
+
+    def recover(self, sums: Sequence[int]) -> List[int]:
+        """``Recover``: a receiver's fresh share is the parity of its sum
+        (even noise never flips parity)."""
+        return [s & 1 for s in sums]
+
+    # -- end-to-end driver ------------------------------------------------------
+
+    def run(
+        self,
+        value: int,
+        block_size: int,
+        rng: DeterministicRNG,
+    ) -> TransferInstance:
+        """Execute the whole scheme on a fresh sharing of ``value``; used by
+        the correctness (Theorem 1) and privacy tests."""
+        if value not in (0, 1):
+            raise ProtocolError("the scheme transfers a single bit")
+        key_pairs = self.setup(block_size, rng)
+        neighbor_key = self.elgamal.group.random_scalar(rng)
+        randomized = self.randomize_keys([kp.public for kp in key_pairs], neighbor_key)
+
+        sender_shares = share_bit(value, block_size, rng)
+        subshares, ciphertexts = self.encrypt(sender_shares, randomized, rng)
+        aggregated, noise_terms = self.aggregate(ciphertexts, rng)
+        adjusted = self.adjust(aggregated, neighbor_key)
+        sums = self.decrypt(adjusted, key_pairs)
+        receiver_shares = self.recover(sums)
+
+        if xor_all(receiver_shares) != value:
+            raise ProtocolError("transfer correctness violated (Theorem 1)")
+        return TransferInstance(
+            sender_shares=sender_shares,
+            subshares=subshares,
+            encrypted_subshares=ciphertexts,
+            aggregated=aggregated,
+            noise_terms=noise_terms,
+            adjusted=adjusted,
+            decrypted_sums=sums,
+            receiver_shares=receiver_shares,
+        )

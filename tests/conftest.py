@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Crypto-heavy tests default to the toy 64-bit Schnorr group: the algebra is
+identical to the production groups and unit tests are about correctness,
+not parameter sizes. Group-size fidelity is covered by the dedicated
+`test_crypto_*` modules, which exercise the 256-bit group and the NIST
+curves directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.elgamal import ExponentialElGamal
+from repro.crypto.group import TOY_GROUP_64
+from repro.crypto.rng import DeterministicRNG
+from repro.finance.network import Bank, FinancialNetwork
+from repro.mpc.fixedpoint import FixedPointFormat
+
+
+@pytest.fixture
+def rng() -> DeterministicRNG:
+    return DeterministicRNG("test-seed")
+
+
+@pytest.fixture
+def toy_elgamal() -> ExponentialElGamal:
+    return ExponentialElGamal(TOY_GROUP_64, dlog_half_width=512)
+
+
+@pytest.fixture
+def fmt() -> FixedPointFormat:
+    return FixedPointFormat(16, 8)
+
+
+@pytest.fixture
+def small_en_network() -> FinancialNetwork:
+    """4-bank chain with a cascading default (bank 0 under-reserved)."""
+    net = FinancialNetwork()
+    net.add_bank(Bank(0, cash=2.0))
+    net.add_bank(Bank(1, cash=1.0))
+    net.add_bank(Bank(2, cash=1.0))
+    net.add_bank(Bank(3, cash=0.5))
+    net.add_debt(0, 1, 4.0)
+    net.add_debt(0, 2, 2.0)
+    net.add_debt(1, 3, 3.0)
+    net.add_debt(2, 3, 1.0)
+    return net
+
+
+@pytest.fixture
+def small_egj_network() -> FinancialNetwork:
+    """3-bank cross-holding ring with one weak bank."""
+    net = FinancialNetwork()
+    net.add_bank(Bank(0, base_assets=1.0, orig_value=10.0, threshold=5.0, penalty=2.0))
+    net.add_bank(Bank(1, base_assets=6.0, orig_value=10.0, threshold=5.0, penalty=2.0))
+    net.add_bank(Bank(2, base_assets=8.0, orig_value=12.0, threshold=6.0, penalty=3.0))
+    net.add_holding(1, 0, 0.4)
+    net.add_holding(2, 1, 0.3)
+    net.add_holding(0, 2, 0.5)
+    return net

@@ -1,0 +1,115 @@
+"""Tests for the plaintext reference engine and aggregation helpers."""
+
+import pytest
+
+from repro.core.aggregation import (
+    AggregationPlan,
+    partial_sum_width,
+    plan_groups,
+    reshare_word,
+)
+from repro.core.engine import PlaintextEngine
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import ProtocolError
+from repro.finance import EisenbergNoeProgram, ElliottGolubJacksonProgram, clearing_vector, egj_fixpoint
+from repro.mpc.fixedpoint import FixedPointFormat
+from repro.sharing import xor_all
+
+
+class TestFloatEngine:
+    def test_en_matches_exact_solver(self, small_en_network, fmt):
+        graph = small_en_network.to_en_graph(degree_bound=2)
+        run = PlaintextEngine(EisenbergNoeProgram(fmt)).run_float(graph, iterations=6)
+        exact = clearing_vector(small_en_network).total_shortfall
+        assert run.aggregate == pytest.approx(exact, abs=1e-9)
+
+    def test_egj_matches_exact_solver(self, small_egj_network, fmt):
+        graph = small_egj_network.to_egj_graph(degree_bound=2)
+        run = PlaintextEngine(ElliottGolubJacksonProgram(fmt)).run_float(graph, iterations=6)
+        exact = egj_fixpoint(small_egj_network, iterations=6).total_shortfall
+        assert run.aggregate == pytest.approx(exact, abs=1e-9)
+
+    def test_trajectory_length(self, small_en_network, fmt):
+        graph = small_en_network.to_en_graph(degree_bound=2)
+        run = PlaintextEngine(EisenbergNoeProgram(fmt)).run_float(graph, iterations=4)
+        assert len(run.trajectory) == 5  # n steps + final computation
+
+    def test_en_shortfall_monotone_nondecreasing(self, small_en_network, fmt):
+        """Fictitious default: shortfall only grows across iterations."""
+        graph = small_en_network.to_en_graph(degree_bound=2)
+        run = PlaintextEngine(EisenbergNoeProgram(fmt)).run_float(graph, iterations=8)
+        for earlier, later in zip(run.trajectory, run.trajectory[1:]):
+            assert later >= earlier - 1e-9
+
+    def test_zero_iterations_runs_final_step(self, small_en_network, fmt):
+        graph = small_en_network.to_en_graph(degree_bound=2)
+        run = PlaintextEngine(EisenbergNoeProgram(fmt)).run_float(graph, iterations=0)
+        assert len(run.trajectory) == 1
+
+
+class TestFixedEngine:
+    def test_en_fixed_close_to_float(self, small_en_network, fmt):
+        graph = small_en_network.to_en_graph(degree_bound=2)
+        engine = PlaintextEngine(EisenbergNoeProgram(fmt))
+        float_run = engine.run_float(graph, iterations=5)
+        fixed_run = engine.run_fixed(graph, iterations=5)
+        assert fixed_run.aggregate == pytest.approx(float_run.aggregate, abs=0.2)
+
+    def test_egj_fixed_close_to_float(self, small_egj_network, fmt):
+        graph = small_egj_network.to_egj_graph(degree_bound=2)
+        engine = PlaintextEngine(ElliottGolubJacksonProgram(fmt))
+        float_run = engine.run_float(graph, iterations=5)
+        fixed_run = engine.run_fixed(graph, iterations=5)
+        assert fixed_run.aggregate == pytest.approx(float_run.aggregate, abs=0.3)
+
+    def test_fixed_engine_deterministic(self, small_en_network, fmt):
+        graph = small_en_network.to_en_graph(degree_bound=2)
+        engine = PlaintextEngine(EisenbergNoeProgram(fmt))
+        assert (
+            engine.run_fixed(graph, 4).aggregate == engine.run_fixed(graph, 4).aggregate
+        )
+
+    def test_higher_precision_reduces_error(self, small_en_network):
+        graph = small_en_network.to_en_graph(degree_bound=2)
+        coarse = PlaintextEngine(EisenbergNoeProgram(FixedPointFormat(12, 4)))
+        fine = PlaintextEngine(EisenbergNoeProgram(FixedPointFormat(20, 12)))
+        exact = clearing_vector(small_en_network).total_shortfall
+        err_coarse = abs(coarse.run_fixed(graph, 5).aggregate - exact)
+        err_fine = abs(fine.run_fixed(graph, 5).aggregate - exact)
+        assert err_fine <= err_coarse
+
+
+class TestAggregationHelpers:
+    def test_reshare_preserves_value(self, rng):
+        from repro.sharing import share_value
+
+        shares = share_value(0xABC, 12, 4, rng)
+        fresh = reshare_word(shares, 12, 5, rng)
+        assert len(fresh) == 5
+        assert xor_all(fresh) == 0xABC
+
+    def test_reshare_empty_rejected(self, rng):
+        with pytest.raises(ProtocolError):
+            reshare_word([], 8, 3, rng)
+
+    def test_plan_groups_single_level(self):
+        assert plan_groups(list(range(10)), fanout=100) == [list(range(10))]
+
+    def test_plan_groups_hierarchical(self):
+        groups = plan_groups(list(range(250)), fanout=100)
+        assert len(groups) == 3
+        assert [len(g) for g in groups] == [100, 100, 50]
+        assert sum(groups, []) == list(range(250))
+
+    def test_partial_sum_width(self):
+        assert partial_sum_width(16, 100) == 16 + 7
+        assert partial_sum_width(16, 1) == 17
+
+    def test_plan_properties(self):
+        plan = AggregationPlan(groups=plan_groups(list(range(250)), 100), value_bits=16)
+        assert plan.is_hierarchical
+        assert plan.root_inputs == 3
+        assert plan.root_input_bits == plan.group_sum_bits
+        single = AggregationPlan(groups=plan_groups(list(range(50)), 100), value_bits=16)
+        assert not single.is_hierarchical
+        assert single.root_input_bits == 16

@@ -1,0 +1,109 @@
+"""Tests for the trusted-party setup step (§3.4)."""
+
+import pytest
+
+from repro.core.setup import AGGREGATION_BLOCK_ID, TrustedParty
+from repro.crypto.keys import SchnorrSigner
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import ConfigurationError, CryptoError
+from repro.transfer.certificates import generate_member_keys, verify_certificate
+
+
+@pytest.fixture
+def tp(toy_elgamal, rng):
+    return TrustedParty(toy_elgamal, rng)
+
+
+class TestBlockAssignment:
+    def test_blocks_have_k_plus_one_members(self, tp):
+        assignment = tp.assign_blocks(list(range(10)), collusion_bound=3)
+        for node in range(10):
+            members = assignment.members_of(node)
+            assert len(members) == 4
+            assert len(set(members)) == 4
+
+    def test_own_node_in_own_block(self, tp):
+        assignment = tp.assign_blocks(list(range(10)), collusion_bound=2)
+        for node in range(10):
+            assert node in assignment.members_of(node)
+
+    def test_aggregation_block_present(self, tp):
+        assignment = tp.assign_blocks(list(range(10)), collusion_bound=2)
+        agg = assignment.members_of(AGGREGATION_BLOCK_ID)
+        assert len(agg) == 3
+        assert all(m in range(10) for m in agg)
+
+    def test_too_few_nodes_rejected(self, tp):
+        with pytest.raises(ConfigurationError):
+            tp.assign_blocks([0, 1], collusion_bound=2)
+
+    def test_assignment_signed(self, tp):
+        assignment = tp.assign_blocks(list(range(6)), collusion_bound=2)
+        tp.verify_assignment(assignment)
+
+    def test_tampered_assignment_rejected(self, tp):
+        assignment = tp.assign_blocks(list(range(6)), collusion_bound=2)
+        assignment.blocks[0][1] = assignment.blocks[0][0]
+        with pytest.raises(CryptoError):
+            tp.verify_assignment(assignment)
+
+    def test_blocks_vary_across_nodes(self, tp):
+        """Random assignment: not everyone gets the same co-members."""
+        assignment = tp.assign_blocks(list(range(20)), collusion_bound=3)
+        signatures = {tuple(sorted(assignment.members_of(n))) for n in range(20)}
+        assert len(signatures) > 10
+
+
+class TestCertificates:
+    def test_certificates_verify(self, tp, toy_elgamal, rng):
+        members = [generate_member_keys(toy_elgamal, 8, rng) for _ in range(3)]
+        neighbor_keys = [toy_elgamal.group.random_scalar(rng) for _ in range(4)]
+        certs = tp.build_block_certificates(7, members, neighbor_keys)
+        assert len(certs) == 4
+        signer = SchnorrSigner(toy_elgamal.group)
+        for slot, cert in enumerate(certs):
+            assert cert.owner == 7
+            assert cert.edge_slot == slot
+            verify_certificate(toy_elgamal, signer, tp.public_key, cert)
+
+    def test_each_slot_differently_randomized(self, tp, toy_elgamal, rng):
+        members = [generate_member_keys(toy_elgamal, 4, rng) for _ in range(2)]
+        neighbor_keys = [toy_elgamal.group.random_scalar(rng) for _ in range(3)]
+        certs = tp.build_block_certificates(0, members, neighbor_keys)
+        first_keys = {
+            toy_elgamal.group.element_to_bytes(certs[0].keys[y][t])
+            for y in range(2)
+            for t in range(4)
+        }
+        second_keys = {
+            toy_elgamal.group.element_to_bytes(certs[1].keys[y][t])
+            for y in range(2)
+            for t in range(4)
+        }
+        assert not (first_keys & second_keys)
+
+
+class TestTopologyIndependence:
+    """The TP must never learn edges; its API cannot even express them."""
+
+    def test_tp_api_has_no_edge_parameters(self):
+        import inspect
+
+        for method_name in ("assign_blocks", "build_block_certificates"):
+            signature = inspect.signature(getattr(TrustedParty, method_name))
+            for parameter in signature.parameters:
+                assert "edge" not in parameter.lower() or parameter == "self"
+                assert "graph" not in parameter.lower()
+                assert "neighbor_certificates" not in parameter.lower()
+
+    def test_assignment_independent_of_any_graph(self, toy_elgamal):
+        """Two TPs with the same seed produce identical assignments no
+        matter what graph the deployment will run — the transcript depends
+        only on node ids."""
+        a = TrustedParty(toy_elgamal, DeterministicRNG(1)).assign_blocks(
+            list(range(8)), 2
+        )
+        b = TrustedParty(toy_elgamal, DeterministicRNG(1)).assign_blocks(
+            list(range(8)), 2
+        )
+        assert a.blocks == b.blocks

@@ -1,0 +1,95 @@
+"""Tests for dlog recovery tables and Schnorr signatures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dlog import BabyStepGiantStep, DlogTable
+from repro.crypto.group import TOY_GROUP_64
+from repro.crypto.keys import SchnorrSigner
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import CryptoError, DecryptionError
+
+
+class TestDlogTable:
+    def test_full_window_recoverable(self):
+        table = DlogTable(TOY_GROUP_64, half_width=50)
+        for value in range(-50, 51):
+            assert table.recover(TOY_GROUP_64.power_of_g(value)) == value
+
+    def test_outside_window_raises(self):
+        table = DlogTable(TOY_GROUP_64, half_width=5)
+        with pytest.raises(DecryptionError):
+            table.recover(TOY_GROUP_64.power_of_g(6))
+        with pytest.raises(DecryptionError):
+            table.recover(TOY_GROUP_64.power_of_g(-6))
+
+    def test_entry_count_matches_appendix_b(self):
+        # N_l entries spanning [-N_l/2, N_l/2] (Appendix B).
+        table = DlogTable(TOY_GROUP_64, half_width=100)
+        assert table.num_entries == 201
+
+    def test_zero_width_table(self):
+        table = DlogTable(TOY_GROUP_64, half_width=0)
+        assert table.recover(TOY_GROUP_64.identity) == 0
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            DlogTable(TOY_GROUP_64, half_width=-1)
+
+    @given(st.integers(min_value=-200, max_value=200))
+    @settings(max_examples=30)
+    def test_agrees_with_bsgs(self, value):
+        table = DlogTable(TOY_GROUP_64, half_width=200)
+        bsgs = BabyStepGiantStep(TOY_GROUP_64, half_width=200)
+        element = TOY_GROUP_64.power_of_g(value)
+        assert table.recover(element) == bsgs.recover(element) == value
+
+
+class TestSchnorrSigner:
+    def test_sign_verify(self, rng):
+        signer = SchnorrSigner(TOY_GROUP_64)
+        key = signer.keygen(rng)
+        sig = signer.sign(key, b"block list", rng)
+        assert signer.verify(key.public, b"block list", sig)
+
+    def test_tampered_message_rejected(self, rng):
+        signer = SchnorrSigner(TOY_GROUP_64)
+        key = signer.keygen(rng)
+        sig = signer.sign(key, b"payload", rng)
+        assert not signer.verify(key.public, b"payloae", sig)
+
+    def test_wrong_key_rejected(self, rng):
+        signer = SchnorrSigner(TOY_GROUP_64)
+        key1 = signer.keygen(rng)
+        key2 = signer.keygen(rng)
+        sig = signer.sign(key1, b"data", rng)
+        assert not signer.verify(key2.public, b"data", sig)
+
+    def test_signatures_randomized(self, rng):
+        signer = SchnorrSigner(TOY_GROUP_64)
+        key = signer.keygen(rng)
+        assert signer.sign(key, b"m", rng) != signer.sign(key, b"m", rng)
+
+    def test_seal_open_roundtrip(self, rng):
+        signer = SchnorrSigner(TOY_GROUP_64)
+        key = signer.keygen(rng)
+        sealed = signer.seal(key, b"certified bytes", rng)
+        assert signer.open(key.public, sealed) == b"certified bytes"
+
+    def test_open_rejects_forgery(self, rng):
+        signer = SchnorrSigner(TOY_GROUP_64)
+        key = signer.keygen(rng)
+        sealed = signer.seal(key, b"original", rng)
+        forged = type(sealed)(payload=b"forged!!", signature=sealed.signature)
+        with pytest.raises(CryptoError):
+            signer.open(key.public, forged)
+
+    @given(st.binary(max_size=256))
+    @settings(max_examples=20)
+    def test_arbitrary_payloads(self, payload):
+        rng = DeterministicRNG(payload)
+        signer = SchnorrSigner(TOY_GROUP_64)
+        key = signer.keygen(rng)
+        sig = signer.sign(key, payload, rng)
+        assert signer.verify(key.public, payload, sig)

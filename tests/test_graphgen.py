@@ -1,0 +1,123 @@
+"""Tests for the synthetic interbank network generators (Appendix C)."""
+
+import pytest
+
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import ConfigurationError
+from repro.finance import clearing_vector
+from repro.graphgen import (
+    CorePeripheryParams,
+    RandomNetworkParams,
+    ScaleFreeParams,
+    core_periphery_network,
+    random_network,
+    scale_free_network,
+)
+
+
+class TestCorePeriphery:
+    def test_default_shape_matches_appendix_c(self):
+        net = core_periphery_network()
+        assert net.num_banks == 50
+        # 10-bank dense core: core banks are the largest.
+        core_assets = [net.banks[b].orig_value for b in range(10)]
+        periphery_assets = [net.banks[b].orig_value for b in range(10, 50)]
+        assert min(core_assets) > max(periphery_assets)
+
+    def test_core_is_densely_connected(self):
+        net = core_periphery_network()
+        core_edges = sum(1 for d in net.debts if d.debtor < 10 and d.creditor < 10)
+        assert core_edges > 0.5 * 10 * 9 * 0.8  # density 0.8, directed pairs
+
+    def test_periphery_links_to_core(self):
+        net = core_periphery_network()
+        for bank in range(10, 50):
+            creditors = {d.creditor for d in net.debts if d.debtor == bank}
+            assert creditors  # borrows from someone
+            assert all(c < 10 for c in creditors)  # ... and only from core
+
+    def test_deterministic_given_seed(self):
+        a = core_periphery_network(rng=DeterministicRNG(5))
+        b = core_periphery_network(rng=DeterministicRNG(5))
+        assert len(a.debts) == len(b.debts)
+        assert a.banks[0].cash == b.banks[0].cash
+
+    def test_healthy_baseline_low_shortfall(self):
+        """Without a shock the network clears with bounded losses."""
+        net = core_periphery_network()
+        result = clearing_vector(net)
+        total_debt = sum(d.amount for d in net.debts)
+        assert result.total_shortfall < 0.5 * total_debt
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            CorePeripheryParams(num_banks=5, core_size=10)
+        with pytest.raises(ConfigurationError):
+            CorePeripheryParams(periphery_links=0)
+
+
+class TestScaleFree:
+    def test_hub_structure(self):
+        net = scale_free_network(ScaleFreeParams(num_banks=60, attach_links=2, degree_cap=30))
+        degree = {b: 0 for b in net.bank_ids()}
+        for debt in net.debts:
+            degree[debt.debtor] += 1
+            degree[debt.creditor] += 1
+        degrees = sorted(degree.values(), reverse=True)
+        # Heavy-tailed: the biggest hub has several times the median degree.
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+    def test_degree_cap_respected(self):
+        params = ScaleFreeParams(num_banks=40, attach_links=3, degree_cap=8)
+        net = scale_free_network(params)
+        assert net.max_debt_degree() <= 2 * params.degree_cap  # two debts per link
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            ScaleFreeParams(num_banks=2, attach_links=2)
+        with pytest.raises(ConfigurationError):
+            ScaleFreeParams(degree_cap=1, attach_links=2)
+
+
+class TestRandomNetwork:
+    def test_size_and_cap(self):
+        params = RandomNetworkParams(num_banks=30, mean_degree=4, degree_cap=6)
+        net = random_network(params)
+        assert net.num_banks == 30
+        assert net.max_debt_degree() <= 6
+        assert net.max_holding_degree() <= 6
+
+    def test_mean_degree_close_to_target(self):
+        params = RandomNetworkParams(num_banks=80, mean_degree=5, degree_cap=15)
+        net = random_network(params, DeterministicRNG(3))
+        actual = len(net.debts) / params.num_banks
+        assert actual == pytest.approx(5, abs=1.5)
+
+    def test_graph_views_respect_bound(self):
+        params = RandomNetworkParams(num_banks=25, mean_degree=3, degree_cap=5)
+        net = random_network(params)
+        graph = net.to_en_graph(degree_bound=5)
+        assert graph.max_degree() <= 5
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            RandomNetworkParams(num_banks=1)
+        with pytest.raises(ConfigurationError):
+            RandomNetworkParams(mean_degree=0)
+
+
+class TestLeverageDiscipline:
+    """All generators produce banks within the fixed-point-friendly scale
+    and with nonnegative balance sheets."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [core_periphery_network, scale_free_network, random_network],
+        ids=["core-periphery", "scale-free", "random"],
+    )
+    def test_balance_sheets_positive_and_bounded(self, factory):
+        net = factory()
+        for bank in net.banks.values():
+            assert bank.cash >= 0
+            assert bank.base_assets >= 0
+            assert bank.orig_value < 120  # fits FixedPointFormat(16, 8)

@@ -1,0 +1,260 @@
+"""Tests for the arithmetic circuit builder against Python int semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitError
+from repro.mpc.builder import CircuitBuilder
+from repro.mpc.fixedpoint import FixedPointBuilder, FixedPointFormat
+
+WORD = 12
+MASK = (1 << WORD) - 1
+words = st.integers(min_value=0, max_value=MASK)
+signed_words = st.integers(min_value=-(1 << (WORD - 1)), max_value=(1 << (WORD - 1)) - 1)
+
+
+def build_and_eval(construct, inputs):
+    """Build a circuit with the given constructor and evaluate it."""
+    builder = CircuitBuilder()
+    buses = {name: builder.input_bus(name, WORD) for name in inputs}
+    outputs = construct(builder, buses)
+    for name, wires in outputs.items():
+        builder.output_bus(name, wires if isinstance(wires, list) else [wires])
+    return builder.circuit.evaluate(inputs)
+
+
+def to_signed(value, width=WORD):
+    value &= (1 << width) - 1
+    return value - (1 << width) if value >> (width - 1) else value
+
+
+class TestAddSub:
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_add_wraps(self, a, b):
+        out = build_and_eval(
+            lambda bld, bus: {"s": bld.add(bus["a"], bus["b"])}, {"a": a, "b": b}
+        )
+        assert out["s"] == (a + b) & MASK
+
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_sub_wraps(self, a, b):
+        out = build_and_eval(
+            lambda bld, bus: {"d": bld.sub(bus["a"], bus["b"])}, {"a": a, "b": b}
+        )
+        assert out["d"] == (a - b) & MASK
+
+    @given(words)
+    @settings(max_examples=30)
+    def test_negate(self, a):
+        out = build_and_eval(lambda bld, bus: {"n": bld.negate(bus["a"])}, {"a": a})
+        assert out["n"] == (-a) & MASK
+
+    @given(words, words)
+    @settings(max_examples=30)
+    def test_borrow_flag(self, a, b):
+        out = build_and_eval(
+            lambda bld, bus: {"lt": bld.sub_with_borrow(bus["a"], bus["b"])[1]},
+            {"a": a, "b": b},
+        )
+        assert out["lt"] == (1 if a < b else 0)
+
+
+class TestComparison:
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_lt_unsigned(self, a, b):
+        out = build_and_eval(
+            lambda bld, bus: {"lt": bld.lt_unsigned(bus["a"], bus["b"])},
+            {"a": a, "b": b},
+        )
+        assert out["lt"] == (1 if a < b else 0)
+
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_lt_signed(self, a, b):
+        out = build_and_eval(
+            lambda bld, bus: {"lt": bld.lt_signed(bus["a"], bus["b"])},
+            {"a": a, "b": b},
+        )
+        assert out["lt"] == (1 if to_signed(a) < to_signed(b) else 0)
+
+    @given(words, words)
+    @settings(max_examples=40)
+    def test_eq(self, a, b):
+        out = build_and_eval(
+            lambda bld, bus: {"eq": bld.eq(bus["a"], bus["b"])}, {"a": a, "b": b}
+        )
+        assert out["eq"] == (1 if a == b else 0)
+
+    @given(words)
+    @settings(max_examples=20)
+    def test_is_zero(self, a):
+        out = build_and_eval(lambda bld, bus: {"z": bld.is_zero(bus["a"])}, {"a": a})
+        assert out["z"] == (1 if a == 0 else 0)
+
+
+class TestSelection:
+    @given(words, words, st.integers(min_value=0, max_value=1))
+    @settings(max_examples=40)
+    def test_mux(self, a, b, sel):
+        def construct(bld, bus):
+            select = bus["s"][0]
+            return {"m": bld.mux(select, bus["a"], bus["b"])}
+
+        builder = CircuitBuilder()
+        buses = {
+            "a": builder.input_bus("a", WORD),
+            "b": builder.input_bus("b", WORD),
+            "s": builder.input_bus("s", 1),
+        }
+        builder.output_bus("m", builder.mux(buses["s"][0], buses["a"], buses["b"]))
+        out = builder.circuit.evaluate({"a": a, "b": b, "s": sel})
+        assert out["m"] == (a if sel else b)
+
+    @given(words, words)
+    @settings(max_examples=30)
+    def test_min_max_unsigned(self, a, b):
+        out = build_and_eval(
+            lambda bld, bus: {
+                "mn": bld.min_unsigned(bus["a"], bus["b"]),
+                "mx": bld.max_unsigned(bus["a"], bus["b"]),
+            },
+            {"a": a, "b": b},
+        )
+        assert out["mn"] == min(a, b)
+        assert out["mx"] == max(a, b)
+
+    @given(words)
+    @settings(max_examples=30)
+    def test_abs_and_relu(self, a):
+        out = build_and_eval(
+            lambda bld, bus: {
+                "abs": bld.abs_signed(bus["a"]),
+                "relu": bld.relu(bus["a"]),
+            },
+            {"a": a},
+        )
+        sa = to_signed(a)
+        assert to_signed(out["abs"]) == abs(sa) or (sa == -(1 << (WORD - 1)))
+        assert out["relu"] == (a if sa >= 0 else 0)
+
+
+class TestMulDiv:
+    @given(words, words)
+    @settings(max_examples=50)
+    def test_mul_full(self, a, b):
+        builder = CircuitBuilder()
+        ba = builder.input_bus("a", WORD)
+        bb = builder.input_bus("b", WORD)
+        builder.output_bus("p", builder.mul_full(ba, bb))
+        out = builder.circuit.evaluate({"a": a, "b": b})
+        assert out["p"] == a * b
+
+    @given(signed_words, signed_words)
+    @settings(max_examples=50)
+    def test_mul_full_signed(self, a, b):
+        builder = CircuitBuilder()
+        ba = builder.input_bus("a", WORD)
+        bb = builder.input_bus("b", WORD)
+        builder.output_bus("p", builder.mul_full_signed(ba, bb))
+        out = builder.circuit.evaluate({"a": a & MASK, "b": b & MASK})
+        assert to_signed(out["p"], 2 * WORD) == a * b
+
+    @given(words, st.integers(min_value=1, max_value=MASK))
+    @settings(max_examples=50)
+    def test_div_unsigned(self, a, b):
+        builder = CircuitBuilder()
+        ba = builder.input_bus("a", WORD)
+        bb = builder.input_bus("b", WORD)
+        q, r = builder.div_unsigned(ba, bb)
+        builder.output_bus("q", q)
+        builder.output_bus("r", r)
+        out = builder.circuit.evaluate({"a": a, "b": b})
+        assert out["q"] == a // b
+        assert out["r"] == a % b
+
+    def test_div_by_zero_all_ones(self):
+        builder = CircuitBuilder()
+        ba = builder.input_bus("a", 8)
+        bb = builder.input_bus("b", 8)
+        q, _ = builder.div_unsigned(ba, bb)
+        builder.output_bus("q", q)
+        assert builder.circuit.evaluate({"a": 77, "b": 0})["q"] == 0xFF
+
+
+class TestBusPlumbing:
+    def test_extend_shrink_rejected(self):
+        builder = CircuitBuilder()
+        bus = builder.input_bus("a", 8)
+        with pytest.raises(CircuitError):
+            builder.zero_extend(bus, 4)
+        with pytest.raises(CircuitError):
+            builder.sign_extend(bus, 4)
+
+    def test_shift_left_const(self):
+        builder = CircuitBuilder()
+        bus = builder.input_bus("a", 4)
+        builder.output_bus("out", builder.shift_left_const(bus, 2))
+        assert builder.circuit.evaluate({"a": 0b1011})["out"] == 0b101100
+
+    @given(words, st.integers(min_value=0, max_value=WORD + 2))
+    @settings(max_examples=30)
+    def test_shift_right_arithmetic(self, a, amount):
+        builder = CircuitBuilder()
+        bus = builder.input_bus("a", WORD)
+        builder.output_bus("out", builder.shift_right_const(bus, amount, signed=True))
+        out = builder.circuit.evaluate({"a": a})
+        assert to_signed(out["out"]) == to_signed(a) >> amount
+
+    def test_const_bus_negative(self):
+        builder = CircuitBuilder()
+        bus = builder.const_bus(-1, 8)
+        builder.output_bus("out", bus)
+        assert builder.circuit.evaluate({})["out"] == 0xFF
+
+
+class TestFixedPointBuilder:
+    @given(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=0.5, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=40)
+    def test_fx_ops_match_mirrors(self, x, y):
+        fmt = FixedPointFormat(16, 8)
+        builder = FixedPointBuilder(fmt)
+        a = builder.fx_input("a")
+        b = builder.fx_input("b")
+        builder.output_bus("add", builder.fx_add(a, b))
+        builder.output_bus("sub", builder.fx_sub(a, b))
+        builder.output_bus("mul", builder.fx_mul(a, b))
+        builder.output_bus("div", builder.fx_div(a, b))
+        ra, rb = fmt.encode(x), fmt.encode(y)
+        out = builder.circuit.evaluate(
+            {"a": fmt.to_unsigned(ra), "b": fmt.to_unsigned(rb)}
+        )
+        assert fmt.from_unsigned(out["add"]) == fmt.wrap(ra + rb)
+        assert fmt.from_unsigned(out["sub"]) == fmt.wrap(ra - rb)
+        assert fmt.from_unsigned(out["mul"]) == fmt.fx_mul(ra, rb)
+        assert fmt.from_unsigned(out["div"]) == fmt.fx_div(ra, rb)
+
+    def test_fx_div_by_zero_matches_mirror(self):
+        fmt = FixedPointFormat(16, 8)
+        builder = FixedPointBuilder(fmt)
+        a = builder.fx_input("a")
+        b = builder.fx_input("b")
+        builder.output_bus("div", builder.fx_div(a, b))
+        for x in (3.5, -3.5):
+            ra = fmt.encode(x)
+            out = builder.circuit.evaluate({"a": fmt.to_unsigned(ra), "b": 0})
+            assert fmt.from_unsigned(out["div"]) == fmt.fx_div(ra, 0)
+
+    def test_wrong_width_rejected(self):
+        fmt = FixedPointFormat(16, 8)
+        builder = FixedPointBuilder(fmt)
+        narrow = builder.input_bus("n", 8)
+        wide = builder.fx_input("w")
+        with pytest.raises(CircuitError):
+            builder.fx_mul(narrow, wide)

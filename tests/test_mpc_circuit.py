@@ -1,0 +1,137 @@
+"""Tests for the Boolean circuit IR and its plaintext evaluator."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.mpc.circuit import Circuit, GateOp
+
+
+class TestConstruction:
+    def test_constants_present(self):
+        circuit = Circuit()
+        assert circuit.zero == 0
+        assert circuit.one == 1
+        assert circuit.num_wires == 2
+
+    def test_input_bus_wires(self):
+        circuit = Circuit()
+        wires = circuit.add_input_bus("a", 4)
+        assert len(wires) == 4
+        assert circuit.input_buses["a"] == wires
+
+    def test_duplicate_bus_rejected(self):
+        circuit = Circuit()
+        circuit.add_input_bus("a", 2)
+        with pytest.raises(CircuitError):
+            circuit.add_input_bus("a", 2)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit().add_input_bus("a", 0)
+
+    def test_duplicate_output_rejected(self):
+        circuit = Circuit()
+        wires = circuit.add_input_bus("a", 1)
+        circuit.mark_output_bus("out", wires)
+        with pytest.raises(CircuitError):
+            circuit.mark_output_bus("out", wires)
+
+    def test_out_of_range_wire_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(CircuitError):
+            circuit.mark_output_bus("out", [999])
+
+
+class TestConstantFolding:
+    def test_xor_folds(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_bus("a", 1)
+        assert circuit.xor(a, circuit.zero) == a
+        assert circuit.xor(circuit.zero, a) == a
+        assert circuit.xor(a, a) == circuit.zero
+        assert len(circuit.gates) == 0
+
+    def test_xor_with_one_becomes_not(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_bus("a", 1)
+        out = circuit.xor(a, circuit.one)
+        assert circuit.gates[-1].op is GateOp.NOT
+
+    def test_and_folds(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_bus("a", 1)
+        assert circuit.and_(a, circuit.zero) == circuit.zero
+        assert circuit.and_(a, circuit.one) == a
+        assert circuit.and_(a, a) == a
+        assert len(circuit.gates) == 0
+
+    def test_not_folds(self):
+        circuit = Circuit()
+        assert circuit.inv(circuit.zero) == circuit.one
+        assert circuit.inv(circuit.one) == circuit.zero
+
+
+class TestEvaluation:
+    def test_truth_tables(self):
+        for op, fn in [
+            ("xor", lambda a, b: a ^ b),
+            ("and", lambda a, b: a & b),
+            ("or", lambda a, b: a | b),
+        ]:
+            circuit = Circuit()
+            (a,) = circuit.add_input_bus("a", 1)
+            (b,) = circuit.add_input_bus("b", 1)
+            out = {
+                "xor": circuit.xor,
+                "and": circuit.and_,
+                "or": circuit.or_,
+            }[op](a, b)
+            circuit.mark_output_bus("out", [out])
+            for x in (0, 1):
+                for y in (0, 1):
+                    assert circuit.evaluate({"a": x, "b": y})["out"] == fn(x, y), op
+
+    def test_missing_input_rejected(self):
+        circuit = Circuit()
+        circuit.add_input_bus("a", 1)
+        with pytest.raises(CircuitError):
+            circuit.evaluate({})
+
+    def test_inputs_masked_to_width(self):
+        circuit = Circuit()
+        wires = circuit.add_input_bus("a", 4)
+        circuit.mark_output_bus("out", wires)
+        assert circuit.evaluate({"a": 0x1F})["out"] == 0xF
+
+
+class TestStats:
+    def test_gate_counts(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_bus("a", 1)
+        (b,) = circuit.add_input_bus("b", 1)
+        x = circuit.xor(a, b)
+        y = circuit.and_(x, b)
+        circuit.inv(y)
+        stats = circuit.stats()
+        assert stats.xor_gates == 1
+        assert stats.and_gates == 1
+        assert stats.not_gates == 1
+        assert stats.total_gates == 3
+
+    def test_and_depth_chain(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_bus("a", 1)
+        (b,) = circuit.add_input_bus("b", 1)
+        x = a
+        for _ in range(5):
+            x = circuit.add_gate(GateOp.AND, x, b)
+        assert circuit.stats().and_depth == 5
+
+    def test_xor_does_not_add_depth(self):
+        circuit = Circuit()
+        (a,) = circuit.add_input_bus("a", 1)
+        (b,) = circuit.add_input_bus("b", 1)
+        x = circuit.add_gate(GateOp.AND, a, b)
+        for _ in range(10):
+            x = circuit.add_gate(GateOp.XOR, x, b)
+        assert circuit.stats().and_depth == 1

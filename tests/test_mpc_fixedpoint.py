@@ -1,0 +1,98 @@
+"""Tests for the fixed-point format (encoding, wrapping, mirrors)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitError
+from repro.mpc.fixedpoint import FixedPointFormat
+
+
+class TestFormat:
+    def test_defaults_are_sane(self):
+        fmt = FixedPointFormat()
+        assert fmt.total_bits == 16
+        assert fmt.fraction_bits == 8
+        assert fmt.scale == 256
+        assert fmt.resolution == 1 / 256
+
+    def test_range(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.max_raw == 32767
+        assert fmt.min_raw == -32768
+        assert fmt.max_value == pytest.approx(127.996, abs=1e-3)
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(CircuitError):
+            FixedPointFormat(1, 0)
+        with pytest.raises(CircuitError):
+            FixedPointFormat(8, 8)
+        with pytest.raises(CircuitError):
+            FixedPointFormat(8, -1)
+
+
+class TestEncoding:
+    @given(st.floats(min_value=-127, max_value=127, allow_nan=False))
+    @settings(max_examples=60)
+    def test_roundtrip_within_resolution(self, value):
+        fmt = FixedPointFormat(16, 8)
+        assert abs(fmt.decode(fmt.encode(value)) - value) <= fmt.resolution / 2
+
+    def test_clamping(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.encode(1e9) == fmt.max_raw
+        assert fmt.encode(-1e9) == fmt.min_raw
+
+    @given(st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+    @settings(max_examples=60)
+    def test_unsigned_pattern_roundtrip(self, raw):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.from_unsigned(fmt.to_unsigned(raw)) == raw
+
+    @given(st.integers(min_value=-(1 << 20), max_value=1 << 20))
+    @settings(max_examples=60)
+    def test_wrap_is_mod_2L(self, raw):
+        fmt = FixedPointFormat(16, 8)
+        wrapped = fmt.wrap(raw)
+        assert fmt.min_raw <= wrapped <= fmt.max_raw
+        assert (wrapped - raw) % (1 << 16) == 0
+
+    def test_saturate(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.saturate(10**6) == fmt.max_raw
+        assert fmt.saturate(-(10**6)) == fmt.min_raw
+        assert fmt.saturate(1234) == 1234
+
+
+class TestMirrors:
+    """The plaintext mirrors define circuit semantics; spot-check algebra."""
+
+    def test_fx_mul_exact_products(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.fx_mul(fmt.encode(1.5), fmt.encode(2.0)) == fmt.encode(3.0)
+        assert fmt.fx_mul(fmt.encode(-1.5), fmt.encode(2.0)) == fmt.encode(-3.0)
+
+    def test_fx_div_exact_quotients(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.fx_div(fmt.encode(3.0), fmt.encode(2.0)) == fmt.encode(1.5)
+        assert fmt.fx_div(fmt.encode(-3.0), fmt.encode(2.0)) == fmt.encode(-1.5)
+
+    @given(
+        st.floats(min_value=0.1, max_value=50, allow_nan=False),
+        st.floats(min_value=0.1, max_value=50, allow_nan=False),
+    )
+    @settings(max_examples=40)
+    def test_fx_div_close_to_real(self, x, y):
+        fmt = FixedPointFormat(16, 8)
+        result = fmt.decode(fmt.fx_div(fmt.encode(x), fmt.encode(y)))
+        if abs(x / y) < fmt.max_value:
+            # Quantizing the divisor by half an LSB perturbs the quotient
+            # by about |x/y| * resolution / y; allow that plus an LSB.
+            tolerance = fmt.resolution + abs(x / y) * fmt.resolution / y
+            assert result == pytest.approx(x / y, abs=0.05 + tolerance)
+
+    def test_one_is_multiplicative_identity(self):
+        fmt = FixedPointFormat(16, 8)
+        one = fmt.encode(1.0)
+        for v in (0.0, 1.0, -2.5, 100.0):
+            assert fmt.fx_mul(fmt.encode(v), one) == fmt.encode(v)

@@ -1,0 +1,219 @@
+"""Tests for the GMW engine: correctness, secrecy structure, accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.group import TOY_GROUP_64
+from repro.crypto.ot import DDHObliviousTransfer, SimulatedObliviousTransfer
+from repro.crypto.ot_extension import IKNPOTExtension
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import CircuitError, ProtocolError
+from repro.mpc.builder import CircuitBuilder
+from repro.mpc.cost import gmw_cost
+from repro.mpc.gmw import GMWEngine
+from repro.sharing import xor_all
+
+
+def adder_circuit(width=8):
+    builder = CircuitBuilder()
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    builder.output_bus("sum", builder.add(a, b))
+    builder.output_bus("lt", [builder.lt_unsigned(a, b)])
+    return builder.circuit
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("parties", [2, 3, 5])
+    def test_adder_matches_plaintext(self, parties, rng):
+        circuit = adder_circuit()
+        engine = GMWEngine(parties)
+        for a, b in [(0, 0), (255, 1), (100, 200), (7, 7)]:
+            shares = {
+                "a": engine.share_input(a, 8, rng),
+                "b": engine.share_input(b, 8, rng),
+            }
+            result = engine.evaluate(circuit, shares, rng)
+            assert result.reveal("sum") == (a + b) & 0xFF
+            assert result.reveal("lt") == (1 if a < b else 0)
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_inputs(self, a, b):
+        rng = DeterministicRNG(a * 257 + b)
+        circuit = adder_circuit()
+        engine = GMWEngine(3)
+        shares = {
+            "a": engine.share_input(a, 8, rng),
+            "b": engine.share_input(b, 8, rng),
+        }
+        result = engine.evaluate(circuit, shares, rng)
+        assert result.reveal("sum") == (a + b) & 0xFF
+
+    def test_beaver_mode_matches_ot_mode(self, rng):
+        circuit = adder_circuit()
+        for a, b in [(13, 200), (0, 255)]:
+            for mode in ("ot", "beaver"):
+                engine = GMWEngine(4, mode=mode)
+                shares = {
+                    "a": engine.share_input(a, 8, rng),
+                    "b": engine.share_input(b, 8, rng),
+                }
+                assert engine.evaluate(circuit, shares, rng).reveal("sum") == (a + b) & 0xFF
+
+    def test_real_ddh_ot_backend(self, rng):
+        """Full public-key OT under every AND gate (slow; tiny circuit)."""
+        builder = CircuitBuilder()
+        a = builder.input_bus("a", 2)
+        b = builder.input_bus("b", 2)
+        builder.output_bus("and", builder.bitwise_and(a, b))
+        engine = GMWEngine(2, ot=DDHObliviousTransfer(TOY_GROUP_64))
+        shares = {
+            "a": engine.share_input(3, 2, rng),
+            "b": engine.share_input(2, 2, rng),
+        }
+        assert engine.evaluate(builder.circuit, shares, rng).reveal("and") == 2
+
+    def test_iknp_backend(self, rng):
+        circuit = adder_circuit(4)
+        ot = IKNPOTExtension(DDHObliviousTransfer(TOY_GROUP_64), kappa=16, batch_size=256)
+        engine = GMWEngine(3, ot=ot)
+        shares = {
+            "a": engine.share_input(9, 4, rng),
+            "b": engine.share_input(5, 4, rng),
+        }
+        assert engine.evaluate(circuit, shares, rng).reveal("sum") == 14
+
+
+class TestShapeAndErrors:
+    def test_single_party_rejected(self):
+        with pytest.raises(ProtocolError):
+            GMWEngine(1)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ProtocolError):
+            GMWEngine(3, mode="magic")
+
+    def test_missing_input_shares(self, rng):
+        circuit = adder_circuit()
+        engine = GMWEngine(3)
+        with pytest.raises(CircuitError):
+            engine.evaluate(circuit, {"a": engine.share_input(1, 8, rng)}, rng)
+
+    def test_wrong_share_count(self, rng):
+        circuit = adder_circuit()
+        engine = GMWEngine(3)
+        shares = {"a": [1, 2], "b": [1, 2, 3]}
+        with pytest.raises(ProtocolError):
+            engine.evaluate(circuit, shares, rng)
+
+
+class TestSecrecyStructure:
+    def test_outputs_stay_shared(self, rng):
+        """No single party's output share equals the plaintext — DStress
+        never reveals intermediate values (§3.3)."""
+        circuit = adder_circuit()
+        engine = GMWEngine(4)
+        plaintext_hits = 0
+        for trial in range(20):
+            a, b = rng.randbits(8), rng.randbits(8)
+            shares = {
+                "a": engine.share_input(a, 8, rng),
+                "b": engine.share_input(b, 8, rng),
+            }
+            result = engine.evaluate(circuit, shares, rng)
+            expected = (a + b) & 0xFF
+            for party_share in result.output_shares["sum"]:
+                if party_share == expected:
+                    plaintext_hits += 1
+        # Coincidental hits are possible (1/256 per share); systematic
+        # leakage would produce ~80.
+        assert plaintext_hits < 10
+
+    def test_any_k_output_shares_not_determining(self, rng):
+        """XOR of any strict subset of output shares varies run to run."""
+        circuit = adder_circuit()
+        engine = GMWEngine(3)
+        partials = set()
+        for _ in range(30):
+            shares = {
+                "a": engine.share_input(50, 8, rng),
+                "b": engine.share_input(60, 8, rng),
+            }
+            result = engine.evaluate(circuit, shares, rng)
+            partials.add(xor_all(result.output_shares["sum"][:2]))
+        assert len(partials) > 10
+
+
+class TestAccounting:
+    def test_ot_count_formula(self, rng):
+        """One OT per AND gate per ordered party pair."""
+        circuit = adder_circuit()
+        ands = circuit.stats().and_gates
+        for parties in (2, 3, 5):
+            engine = GMWEngine(parties)
+            shares = {
+                "a": engine.share_input(1, 8, rng),
+                "b": engine.share_input(2, 8, rng),
+            }
+            result = engine.evaluate(circuit, shares, rng)
+            assert result.traffic.ot_count == ands * parties * (parties - 1)
+
+    def test_rounds_equal_and_depth(self, rng):
+        circuit = adder_circuit()
+        engine = GMWEngine(2)
+        shares = {
+            "a": engine.share_input(1, 8, rng),
+            "b": engine.share_input(2, 8, rng),
+        }
+        result = engine.evaluate(circuit, shares, rng)
+        assert result.traffic.rounds == circuit.stats().and_depth
+
+    def test_per_party_traffic_linear_total_quadratic(self, rng):
+        """The Figure 3/4 shape: per-party linear in block size, total
+        quadratic."""
+        circuit = adder_circuit()
+        per_party = {}
+        total = {}
+        for parties in (2, 4, 8):
+            engine = GMWEngine(parties)
+            shares = {
+                "a": engine.share_input(1, 8, rng),
+                "b": engine.share_input(2, 8, rng),
+            }
+            traffic = engine.evaluate(circuit, shares, rng).traffic
+            per_party[parties] = traffic.sent_bits[0]
+            total[parties] = sum(traffic.sent_bits)
+        assert per_party[4] == pytest.approx(per_party[2] * 3, rel=0.01)
+        assert per_party[8] == pytest.approx(per_party[2] * 7, rel=0.01)
+        assert total[4] == pytest.approx(total[2] * 6, rel=0.01)
+
+    def test_matches_cost_model(self, rng):
+        circuit = adder_circuit()
+        parties = 3
+        ot = SimulatedObliviousTransfer(TOY_GROUP_64)
+        engine = GMWEngine(parties, ot=ot)
+        shares = {
+            "a": engine.share_input(1, 8, rng),
+            "b": engine.share_input(2, 8, rng),
+        }
+        result = engine.evaluate(circuit, shares, rng)
+        predicted = gmw_cost(
+            circuit,
+            parties,
+            ot.sender_bytes_per_transfer(1),
+            ot.receiver_bytes_per_transfer(1),
+        )
+        assert result.traffic.ot_count == predicted.total_ots
+        assert sum(result.traffic.sent_bits) == predicted.parties * predicted.sent_bits_per_party
+
+    def test_sent_received_balance(self, rng):
+        circuit = adder_circuit()
+        engine = GMWEngine(3)
+        shares = {
+            "a": engine.share_input(1, 8, rng),
+            "b": engine.share_input(2, 8, rng),
+        }
+        traffic = engine.evaluate(circuit, shares, rng).traffic
+        assert sum(traffic.sent_bits) == sum(traffic.received_bits)

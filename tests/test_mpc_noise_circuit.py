@@ -1,0 +1,178 @@
+"""Tests for the in-MPC noise samplers (Dwork et al. style)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import CircuitError
+from repro.mpc.gmw import GMWEngine
+from repro.mpc.noise_circuit import (
+    build_noised_sum_bits_circuit,
+    build_noised_sum_circuit,
+    build_partial_sum_circuit,
+    cdf_thresholds,
+    geometric_bit_probabilities,
+    geometric_bits_seed_width,
+    sample_geometric_bits_plaintext,
+    sample_noise_plaintext,
+    two_sided_geometric_cdf,
+)
+
+
+class TestCdf:
+    def test_cdf_is_valid(self):
+        alpha = 0.8
+        values = [two_sided_geometric_cdf(alpha, d) for d in range(-20, 21)]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert values == sorted(values)
+
+    def test_cdf_symmetry(self):
+        alpha = 0.6
+        for d in range(0, 10):
+            # P(Y <= -d-1) == P(Y >= d+1) == 1 - P(Y <= d)
+            assert two_sided_geometric_cdf(alpha, -d - 1) == pytest.approx(
+                1.0 - two_sided_geometric_cdf(alpha, d)
+            )
+
+    def test_pmf_ratio_is_alpha(self):
+        alpha = 0.7
+        pmf = lambda d: two_sided_geometric_cdf(alpha, d) - two_sided_geometric_cdf(alpha, d - 1)
+        assert pmf(1) / pmf(0) == pytest.approx(alpha)
+        assert pmf(5) / pmf(4) == pytest.approx(alpha)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(CircuitError):
+            two_sided_geometric_cdf(1.0, 0)
+        with pytest.raises(CircuitError):
+            cdf_thresholds(0.0, 4, 16)
+
+
+class TestCdfSampler:
+    def test_circuit_matches_mirror(self):
+        circuit = build_noised_sum_circuit(2, value_bits=10, alpha=0.75, bound=15, uniform_bits=20)
+        width = len(circuit.output_buses["noised_sum"])
+        rng = DeterministicRNG("cdf")
+        for _ in range(30):
+            u = rng.randbits(20)
+            a, b = rng.randrange(0, 100), rng.randrange(0, 100)
+            out = circuit.evaluate({"state_0": a, "state_1": b, "seed": u})
+            got = out["noised_sum"]
+            if got >> (width - 1):
+                got -= 1 << width
+            assert got == a + b + sample_noise_plaintext(0.75, 15, 20, u)
+
+    def test_sample_range_bounded(self):
+        rng = DeterministicRNG("range")
+        for _ in range(200):
+            sample = sample_noise_plaintext(0.9, 7, 16, rng.randbits(16))
+            assert -7 <= sample <= 7
+
+
+class TestBitsSampler:
+    def test_bit_probabilities_shrink(self):
+        probs = geometric_bit_probabilities(0.9, 10)
+        assert probs == sorted(probs, reverse=True)
+        assert all(0.0 < p < 1.0 for p in probs)
+
+    def test_bit_probability_formula(self):
+        alpha = 0.8
+        probs = geometric_bit_probabilities(alpha, 4)
+        for i, p in enumerate(probs):
+            a = alpha ** (1 << i)
+            assert p == pytest.approx(a / (1 + a))
+
+    def test_seed_width(self):
+        assert geometric_bits_seed_width(8, 16) == 256
+
+    def test_circuit_matches_mirror(self):
+        alpha, mb, pb = 0.85, 6, 10
+        circuit = build_noised_sum_bits_circuit(2, 10, alpha, mb, pb)
+        width = len(circuit.output_buses["noised_sum"])
+        rng = DeterministicRNG("bits")
+        for _ in range(30):
+            seed = rng.randbits(geometric_bits_seed_width(mb, pb))
+            a, b = rng.randrange(0, 60), rng.randrange(0, 60)
+            out = circuit.evaluate({"state_0": a, "state_1": b, "seed": seed})
+            got = out["noised_sum"]
+            if got >> (width - 1):
+                got -= 1 << width
+            assert got == a + b + sample_geometric_bits_plaintext(alpha, mb, pb, seed)
+
+    def test_distribution_statistics(self):
+        """Mean ~0 and variance ~2a/(1-a)^2 for the two-sided geometric."""
+        alpha, mb, pb = 0.8, 10, 16
+        rng = DeterministicRNG("stats")
+        samples = [
+            sample_geometric_bits_plaintext(alpha, mb, pb, rng.randbits(geometric_bits_seed_width(mb, pb)))
+            for _ in range(20000)
+        ]
+        mean = sum(samples) / len(samples)
+        var = sum((x - mean) ** 2 for x in samples) / len(samples)
+        expected_var = 2 * alpha / (1 - alpha) ** 2
+        assert abs(mean) < 0.2
+        assert abs(var - expected_var) / expected_var < 0.15
+
+    def test_dp_ratio_bound(self):
+        """Empirical epsilon-DP check: P(X=d)/P(X=d+1) ~ 1/alpha."""
+        alpha, mb, pb = 0.7, 8, 16
+        rng = DeterministicRNG("dp")
+        from collections import Counter
+
+        counts = Counter(
+            sample_geometric_bits_plaintext(alpha, mb, pb, rng.randbits(geometric_bits_seed_width(mb, pb)))
+            for _ in range(40000)
+        )
+        for d in (0, 1, 2):
+            ratio = counts[d + 1] / counts[d]
+            assert ratio == pytest.approx(alpha, abs=0.08)
+
+    def test_bits_sampler_much_smaller_than_cdf(self):
+        """The reason the engine uses it: circuit size at realistic scale."""
+        bits_circ = build_noised_sum_bits_circuit(1, 12, 0.999, magnitude_bits=14, precision_bits=16)
+        cdf_circ = build_noised_sum_circuit(1, 12, 0.999, bound=512, uniform_bits=20)
+        assert bits_circ.stats().and_gates < cdf_circ.stats().and_gates / 5
+
+    def test_wrong_seed_width_rejected(self):
+        from repro.mpc.builder import CircuitBuilder
+        from repro.mpc.noise_circuit import build_geometric_bits_sampler
+
+        builder = CircuitBuilder()
+        seed = builder.input_bus("seed", 10)
+        with pytest.raises(CircuitError):
+            build_geometric_bits_sampler(builder, seed, 0.9, 4, 16, 8)
+
+
+class TestPartialSum:
+    def test_partial_sum_circuit(self):
+        circuit = build_partial_sum_circuit(3, value_bits=8, output_bits=12)
+        out = circuit.evaluate({"state_0": 100, "state_1": 27, "state_2": 3})
+        assert out["partial_sum"] == 130
+
+    def test_signed_inputs(self):
+        circuit = build_partial_sum_circuit(2, value_bits=8, output_bits=12)
+        # -1 (0xFF) + 5 = 4 with sign extension
+        out = circuit.evaluate({"state_0": 0xFF, "state_1": 5})
+        assert out["partial_sum"] == 4
+
+
+class TestUnderGMW:
+    def test_noised_sum_in_mpc(self):
+        """The §3.6 aggregation circuit end-to-end under GMW."""
+        alpha, mb, pb = 0.8, 5, 8
+        circuit = build_noised_sum_bits_circuit(2, 8, alpha, mb, pb)
+        width = len(circuit.output_buses["noised_sum"])
+        rng = DeterministicRNG("gmw-noise")
+        engine = GMWEngine(3)
+        seed_width = geometric_bits_seed_width(mb, pb)
+        seed = rng.randbits(seed_width)
+        shares = {
+            "state_0": engine.share_input(40, 8, rng),
+            "state_1": engine.share_input(2, 8, rng),
+            "seed": engine.share_input(seed, seed_width, rng),
+        }
+        result = engine.evaluate(circuit, shares, rng)
+        got = result.reveal("noised_sum", signed=True)
+        assert got == 42 + sample_geometric_bits_plaintext(alpha, mb, pb, seed)

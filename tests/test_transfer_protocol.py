@@ -1,0 +1,221 @@
+"""Tests for the full L-bit message transfer protocol (§3.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.elgamal import ExponentialElGamal
+from repro.crypto.group import TOY_GROUP_64
+from repro.crypto.keys import SchnorrSigner
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import CryptoError, DecryptionError, ProtocolError
+from repro.sharing import share_value
+from repro.transfer.certificates import (
+    build_certificate,
+    generate_member_keys,
+    verify_certificate,
+)
+from repro.transfer.protocol import MessageTransferProtocol, TransferTraffic
+
+BITS = 8
+BLOCK = 3
+
+
+@pytest.fixture
+def setup(toy_elgamal, rng):
+    signer = SchnorrSigner(TOY_GROUP_64)
+    tp_key = signer.keygen(rng)
+    members = [generate_member_keys(toy_elgamal, BITS, rng) for _ in range(BLOCK)]
+    neighbor_key = TOY_GROUP_64.random_scalar(rng)
+    cert = build_certificate(
+        toy_elgamal, signer, tp_key, owner=5, edge_slot=1,
+        member_keys=members, neighbor_key=neighbor_key, rng=rng,
+    )
+    return signer, tp_key, members, neighbor_key, cert
+
+
+class TestEndToEnd:
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=15, deadline=None)
+    def test_any_message_survives(self, message):
+        rng = DeterministicRNG(message)
+        eg = ExponentialElGamal(TOY_GROUP_64, dlog_half_width=512)
+        signer = SchnorrSigner(TOY_GROUP_64)
+        tp_key = signer.keygen(rng)
+        members = [generate_member_keys(eg, BITS, rng) for _ in range(BLOCK)]
+        nk = TOY_GROUP_64.random_scalar(rng)
+        cert = build_certificate(eg, signer, tp_key, 0, 0, members, nk, rng)
+        proto = MessageTransferProtocol(eg, BITS, noise_alpha=0.5)
+        shares = share_value(message, BITS, BLOCK, rng)
+        result = proto.execute(shares, cert, nk, members, rng)
+        assert result.reconstruct(BITS) == message
+
+    def test_no_noise_mode(self, toy_elgamal, setup, rng):
+        _, _, members, nk, cert = setup
+        proto = MessageTransferProtocol(toy_elgamal, BITS, noise_alpha=None)
+        shares = share_value(123, BITS, BLOCK, rng)
+        result = proto.execute(shares, cert, nk, members, rng)
+        assert result.reconstruct(BITS) == 123
+        assert all(n == 0 for row in result.noise_terms for n in row)
+
+    def test_receiver_shares_fresh(self, toy_elgamal, setup, rng):
+        _, _, members, nk, cert = setup
+        proto = MessageTransferProtocol(toy_elgamal, BITS, noise_alpha=0.5)
+        shares = share_value(55, BITS, BLOCK, rng)
+        result = proto.execute(shares, cert, nk, members, rng)
+        assert result.receiver_shares != shares  # overwhelmingly likely
+
+    def test_block_size_mismatch(self, toy_elgamal, setup, rng):
+        _, _, members, nk, cert = setup
+        proto = MessageTransferProtocol(toy_elgamal, BITS, noise_alpha=0.5)
+        with pytest.raises(ProtocolError):
+            proto.execute([1, 2], cert, nk, members, rng)
+
+    def test_certificate_width_mismatch(self, toy_elgamal, setup, rng):
+        _, _, members, nk, cert = setup
+        proto = MessageTransferProtocol(toy_elgamal, 16, noise_alpha=0.5)
+        with pytest.raises(ProtocolError):
+            proto.sender_encrypt(1, cert, rng)
+
+    def test_dlog_window_failure_injection(self, setup, rng):
+        """Appendix B failure event: a tiny dlog table makes heavy noise
+        overflow the window and the transfer fails detectably."""
+        _, _, _, _, _ = setup
+        tiny = ExponentialElGamal(TOY_GROUP_64, dlog_half_width=3)
+        signer = SchnorrSigner(TOY_GROUP_64)
+        tp_key = signer.keygen(rng)
+        members = [generate_member_keys(tiny, BITS, rng) for _ in range(BLOCK)]
+        nk = TOY_GROUP_64.random_scalar(rng)
+        cert = build_certificate(tiny, signer, tp_key, 0, 0, members, nk, rng)
+        proto = MessageTransferProtocol(tiny, BITS, noise_alpha=0.95)
+        failures = 0
+        for trial in range(10):
+            shares = share_value(trial, BITS, BLOCK, rng)
+            try:
+                proto.execute(shares, cert, nk, members, rng)
+            except DecryptionError:
+                failures += 1
+        assert failures > 0
+
+
+class TestEdgePrivacyMechanics:
+    def test_wrong_neighbor_key_breaks_decryption(self, toy_elgamal, setup, rng):
+        """Without the right Adjust scalar, the sums are garbage — the
+        certificate binds the transfer to the edge owner."""
+        _, _, members, nk, cert = setup
+        proto = MessageTransferProtocol(toy_elgamal, BITS, noise_alpha=None)
+        shares = share_value(77, BITS, BLOCK, rng)
+        bundles = [proto.sender_encrypt(s, cert, rng) for s in shares]
+        aggregates, _ = proto.aggregate(bundles, rng)
+        wrong_key = nk + 1
+        adjusted = proto.adjust(aggregates, wrong_key)
+        garbled = 0
+        for agg, member in zip(adjusted, members):
+            try:
+                proto.receiver_decrypt(agg, member)
+            except DecryptionError:
+                garbled += 1
+        assert garbled > 0
+
+    def test_aggregates_contain_no_sender_bytes(self, toy_elgamal, setup, rng):
+        """Strawman #2's recognizability leak is closed: the ciphertext
+        halves forwarded to B_v differ from everything the senders sent."""
+        _, _, members, nk, cert = setup
+        group = toy_elgamal.group
+        proto = MessageTransferProtocol(toy_elgamal, BITS, noise_alpha=0.5)
+        shares = share_value(200, BITS, BLOCK, rng)
+        bundles = [proto.sender_encrypt(s, cert, rng) for s in shares]
+        sent = set()
+        for bundle in bundles:
+            for sub in bundle:
+                sent.add(group.element_to_bytes(sub.c1))
+                sent.update(group.element_to_bytes(c) for c in sub.c2)
+        aggregates, _ = proto.aggregate(bundles, rng)
+        adjusted = proto.adjust(aggregates, nk)
+        forwarded = set()
+        for agg in adjusted:
+            forwarded.add(group.element_to_bytes(agg.c1))
+            forwarded.update(group.element_to_bytes(c) for c in agg.c2)
+        assert not (sent & forwarded)
+
+    def test_noise_terms_even(self, toy_elgamal, setup, rng):
+        _, _, members, nk, cert = setup
+        proto = MessageTransferProtocol(toy_elgamal, BITS, noise_alpha=0.7)
+        shares = share_value(14, BITS, BLOCK, rng)
+        result = proto.execute(shares, cert, nk, members, rng)
+        assert all(n % 2 == 0 for row in result.noise_terms for n in row)
+
+
+class TestCertificates:
+    def test_signature_verifies(self, toy_elgamal, setup):
+        signer, tp_key, _, _, cert = setup
+        verify_certificate(toy_elgamal, signer, tp_key.public, cert)
+
+    def test_tampered_certificate_rejected(self, toy_elgamal, setup, rng):
+        signer, tp_key, members, nk, cert = setup
+        tampered = type(cert)(
+            owner=cert.owner,
+            edge_slot=cert.edge_slot,
+            keys=[list(reversed(row)) for row in cert.keys],
+            signature=cert.signature,
+        )
+        with pytest.raises(CryptoError):
+            verify_certificate(toy_elgamal, signer, tp_key.public, tampered)
+
+    def test_certificate_keys_rerandomized(self, toy_elgamal, setup):
+        """Certificate keys must differ from the members' raw public keys
+        (otherwise senders could identify receivers, §3.4)."""
+        _, _, members, _, cert = setup
+        raw = {
+            toy_elgamal.group.element_to_bytes(pk)
+            for member in members
+            for pk in member.publics
+        }
+        randomized = {
+            toy_elgamal.group.element_to_bytes(pk)
+            for row in cert.keys
+            for pk in row
+        }
+        assert not (raw & randomized)
+
+
+class TestTrafficProfile:
+    """§5.3 role asymmetry: u quadratic, members linear, receivers flat."""
+
+    def test_roles_formula(self):
+        t = TransferTraffic(element_bytes=9, block_size=4, message_bits=8)
+        assert t.subshare_bytes == 9 * 9
+        assert t.node_u_received_bytes == 16 * t.subshare_bytes
+        assert t.sender_member_bytes == 4 * t.subshare_bytes
+        assert t.receiver_member_bytes == t.subshare_bytes
+
+    def test_u_role_quadratic_in_block(self):
+        small = TransferTraffic(element_bytes=9, block_size=8, message_bits=12)
+        large = TransferTraffic(element_bytes=9, block_size=20, message_bits=12)
+        assert large.node_u_received_bytes / small.node_u_received_bytes == pytest.approx(
+            (20 / 8) ** 2
+        )
+
+    def test_member_roles_linear_in_block(self):
+        small = TransferTraffic(element_bytes=9, block_size=8, message_bits=12)
+        large = TransferTraffic(element_bytes=9, block_size=20, message_bits=12)
+        assert large.sender_member_bytes / small.sender_member_bytes == pytest.approx(20 / 8)
+
+    def test_receiver_constant_in_block(self):
+        small = TransferTraffic(element_bytes=9, block_size=8, message_bits=12)
+        large = TransferTraffic(element_bytes=9, block_size=20, message_bits=12)
+        assert small.receiver_member_bytes == large.receiver_member_bytes
+
+    def test_paper_regime_magnitudes(self):
+        """With 97-byte (uncompressed secp384r1) elements and 12-bit
+        messages, the numbers land near §5.3's 97 kB - 595 kB range."""
+        for block, low, high in ((8, 70e3, 120e3), (20, 450e3, 700e3)):
+            t = TransferTraffic(element_bytes=97, block_size=block, message_bits=12)
+            assert low < t.node_u_received_bytes < high
+
+    def test_encryption_count(self, toy_elgamal, setup, rng):
+        _, _, members, nk, cert = setup
+        proto = MessageTransferProtocol(toy_elgamal, BITS, noise_alpha=0.5)
+        shares = share_value(1, BITS, BLOCK, rng)
+        result = proto.execute(shares, cert, nk, members, rng)
+        assert result.encryptions == BLOCK * BLOCK * (BITS + 1)

@@ -1,0 +1,114 @@
+"""Tests for the Appendix A share transfer scheme."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.elgamal import ExponentialElGamal
+from repro.crypto.group import TOY_GROUP_64
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import ProtocolError
+from repro.sharing import xor_all
+from repro.transfer.scheme import ShareTransferScheme
+
+
+@pytest.fixture
+def scheme(toy_elgamal):
+    return ShareTransferScheme(toy_elgamal, noise_alpha=0.5)
+
+
+class TestTheorem1Correctness:
+    """Theorem 1: the value shared in B_v afterwards equals the value
+    shared in B_u beforehand."""
+
+    @given(st.integers(min_value=0, max_value=1), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_correctness_property(self, value, block_size):
+        eg = ExponentialElGamal(TOY_GROUP_64, dlog_half_width=512)
+        scheme = ShareTransferScheme(eg, noise_alpha=0.5)
+        rng = DeterministicRNG(value * 100 + block_size)
+        instance = scheme.run(value, block_size, rng)
+        assert xor_all(instance.receiver_shares) == value
+
+    def test_correctness_without_noise(self, toy_elgamal, rng):
+        scheme = ShareTransferScheme(toy_elgamal, noise_alpha=None)
+        for value in (0, 1):
+            instance = scheme.run(value, 4, rng)
+            assert xor_all(instance.receiver_shares) == value
+
+    def test_non_bit_rejected(self, scheme, rng):
+        with pytest.raises(ProtocolError):
+            scheme.run(2, 3, rng)
+
+    def test_tiny_block_rejected(self, scheme, rng):
+        with pytest.raises(ProtocolError):
+            scheme.setup(1, rng)
+
+
+class TestAlgorithmContracts:
+    def test_encrypt_shapes(self, scheme, rng):
+        keys = scheme.setup(3, rng)
+        randomized = scheme.randomize_keys([k.public for k in keys], 7)
+        subshares, cts = scheme.encrypt([1, 0, 1], randomized, rng)
+        assert len(subshares) == 3 and all(len(row) == 3 for row in subshares)
+        assert len(cts) == 3 and all(len(row) == 3 for row in cts)
+        # subshare rows XOR back to the sender's share
+        for share, row in zip([1, 0, 1], subshares):
+            assert xor_all(row) == share
+
+    def test_noise_terms_are_even(self, scheme, rng):
+        keys = scheme.setup(4, rng)
+        randomized = scheme.randomize_keys([k.public for k in keys], 11)
+        _, cts = scheme.encrypt([1, 0, 0, 1], randomized, rng)
+        _, noise = scheme.aggregate(cts, rng)
+        assert all(n % 2 == 0 for n in noise)
+
+    def test_noise_actually_varies(self, scheme, rng):
+        keys = scheme.setup(4, rng)
+        randomized = scheme.randomize_keys([k.public for k in keys], 11)
+        seen = set()
+        for _ in range(15):
+            _, cts = scheme.encrypt([1, 0, 0, 1], randomized, rng)
+            _, noise = scheme.aggregate(cts, rng)
+            seen.update(noise)
+        assert len(seen) > 1
+
+    def test_decrypted_sums_are_noised_counts(self, scheme, rng):
+        """Each receiver sees sum-of-subshare-bits plus even noise."""
+        instance = scheme.run(1, 4, rng)
+        for y, total in enumerate(instance.decrypted_sums):
+            raw = sum(instance.subshares[x][y] for x in range(4))
+            assert total == raw + instance.noise_terms[y]
+
+    def test_recover_parity(self, scheme):
+        assert scheme.recover([0, 1, 2, 3, 7]) == [0, 1, 0, 1, 1]
+
+    def test_decrypt_count_mismatch(self, scheme, rng):
+        keys = scheme.setup(3, rng)
+        with pytest.raises(ProtocolError):
+            scheme.decrypt([], keys)
+
+
+class TestPrivacyStructure:
+    """Structural stand-ins for the Appendix A indistinguishability game:
+    the artifacts a coalition sees must not determine the secret."""
+
+    def test_k_receiver_shares_leave_secret_open(self, scheme):
+        """Any k of k+1 receiver shares are consistent with both secrets."""
+        for value in (0, 1):
+            partials = set()
+            for trial in range(30):
+                rng = DeterministicRNG(f"{value}-{trial}")
+                instance = scheme.run(value, 3, rng)
+                partials.add(xor_all(instance.receiver_shares[:2]))
+            assert partials == {0, 1}
+
+    def test_aggregates_hide_individual_subshares(self, scheme, rng):
+        """Receivers see only noised sums: with noise enabled, observed sums
+        take values outside [0, k+1] — impossible for raw counts — so the
+        raw subshare count is not recoverable from a single observation."""
+        observed = set()
+        for trial in range(60):
+            instance = scheme.run(trial & 1, 3, rng)
+            observed.update(instance.decrypted_sums)
+        assert any(total < 0 or total > 3 for total in observed)
