@@ -17,9 +17,9 @@ import math
 
 import pytest
 
-from repro.core.engine import PlaintextEngine
+from repro.api import StressTest
 from repro.crypto.rng import DeterministicRNG
-from repro.finance import EisenbergNoeProgram, apply_shock, clearing_vector, uniform_shock
+from repro.finance import apply_shock, clearing_vector, uniform_shock
 from repro.graphgen import CorePeripheryParams, core_periphery_network
 from repro.mpc.fixedpoint import FixedPointFormat
 from tables import emit_table
@@ -36,9 +36,14 @@ def _convergence_rounds(network, degree_bound: int, tolerance: float = 0.01) -> 
     "a limited number of iterations provides a good approximation" (§4.3),
     so we measure rounds to 1% of the final TDS.
     """
-    program = EisenbergNoeProgram(FMT)
-    graph = network.to_en_graph(degree_bound)
-    run = PlaintextEngine(program).run_float(graph, iterations=2 * network.num_banks)
+    run = (
+        StressTest(network)
+        .program("eisenberg-noe")
+        .engine("plaintext")
+        .configure(fmt=FMT)
+        .degree_bound(degree_bound)
+        .run(iterations=2 * network.num_banks)
+    )
     final = run.trajectory[-1]
     for round_index, value in enumerate(run.trajectory):
         if abs(value - final) <= tolerance * max(1.0, abs(final)):

@@ -4,7 +4,7 @@ Every benchmark regenerates one table or figure from the paper's
 evaluation and prints it in a uniform format, bypassing pytest's capture
 so the series appear in the benchmark run's output (and in
 ``bench_output.txt``). Rows are also appended to ``bench_results.txt`` at
-the repository root for EXPERIMENTS.md.
+the repository root so paper-comparison write-ups can cite a stable log.
 """
 
 from __future__ import annotations

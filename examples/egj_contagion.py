@@ -13,9 +13,15 @@ anatomy: per-phase timings and per-node traffic.
 Run: python examples/egj_contagion.py
 """
 
-from repro import DStressConfig, ElliottGolubJacksonProgram, FixedPointFormat, SecureEngine
-from repro.crypto.group import TOY_GROUP_64
-from repro.finance import Bank, FinancialNetwork, apply_shock, egj_fixpoint, uniform_shock
+from repro import StressTest
+from repro.finance import (
+    Bank,
+    FinancialNetwork,
+    apply_shock,
+    egj_fixpoint,
+    egj_sensitivity,
+    uniform_shock,
+)
 
 
 def build_network() -> FinancialNetwork:
@@ -49,24 +55,21 @@ def main() -> None:
     print(f"  distressed: {exact.distressed}")
     print(f"  exact TDS:  {exact.total_shortfall:.3f}")
 
-    fmt = FixedPointFormat(16, 8)
-    program = ElliottGolubJacksonProgram(fmt)
-    config = DStressConfig(
-        collusion_bound=2,
-        fmt=fmt,
-        group=TOY_GROUP_64,
-        dlog_half_width=300,
-        edge_noise_alpha=0.4,
-        output_epsilon=0.5,
-        seed=99,
+    result = (
+        network.stress_test()
+        .program("elliott-golub-jackson")
+        .engine("secure")
+        .preset("demo")
+        .privacy(epsilon=0.5)
+        .seed(99)
+        .degree_bound(2)
+        .run(iterations=iterations)
     )
-    graph = network.to_egj_graph(degree_bound=2)
-    result = SecureEngine(program, config).run(graph, iterations=iterations)
 
     print("\nDStress secure execution")
-    print(f"  released TDS:        {result.noisy_output:.3f}")
-    print(f"  sensitivity (2/r):   {program.sensitivity:.0f}")
-    print(f"  AND gates per step:  {result.gmw_and_gates_per_step:,}")
+    print(f"  released TDS:        {result.aggregate:.3f}")
+    print(f"  sensitivity (2/r):   {egj_sensitivity():.0f}")
+    print(f"  AND gates per step:  {result.raw.gmw_and_gates_per_step:,}")
     print("  phase seconds:")
     for phase, seconds in result.phases.seconds.items():
         print(f"    {phase:15s} {seconds:7.2f}")

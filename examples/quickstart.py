@@ -1,7 +1,8 @@
 """Quickstart: a private stress test over four banks.
 
 Builds a tiny financial network with a known cascading default, then runs
-the Eisenberg-Noe model three ways:
+the Eisenberg-Noe model three ways through the unified StressTest session
+API — the same fluent call with a different engine string each time:
 
 1. the exact plaintext solver (what an all-seeing regulator computes),
 2. the plaintext vertex-program engine (the DStress semantics in the clear),
@@ -9,20 +10,13 @@ the Eisenberg-Noe model three ways:
    steps, ElGamal transfers, MPC aggregation — releasing only a
    differentially private total dollar shortfall.
 
+Iteration counts are not hard-coded: ``run(iterations="auto")`` probes the
+trajectory for the round at which the aggregate settles.
+
 Run: python examples/quickstart.py
 """
 
-from repro import (
-    Bank,
-    DStressConfig,
-    EisenbergNoeProgram,
-    FinancialNetwork,
-    FixedPointFormat,
-    PlaintextEngine,
-    SecureEngine,
-    clearing_vector,
-)
-from repro.crypto.group import TOY_GROUP_64
+from repro import Bank, FinancialNetwork, StressTest, clearing_vector
 
 
 def main() -> None:
@@ -46,33 +40,35 @@ def main() -> None:
     print(f"  exact TDS:   {exact.total_shortfall:.4f}")
 
     # --- 2. the vertex program in the clear -------------------------------
-    fmt = FixedPointFormat(16, 8)
-    program = EisenbergNoeProgram(fmt)
-    graph = network.to_en_graph(degree_bound=2)
-    clear_run = PlaintextEngine(program).run_float(graph, iterations=6)
+    # One session template; engines swap with a string.
+    session = (
+        StressTest(network)
+        .program("eisenberg-noe")
+        .preset("demo")
+        .degree_bound(2)
+    )
+    clear_run = session.clone().engine("plaintext").run(iterations="auto")
     print("\nvertex program (plaintext engine)")
     print(f"  TDS trajectory: {[round(v, 3) for v in clear_run.trajectory]}")
+    print(f"  converged after {clear_run.converged_at()} iterations (auto-detected)")
 
     # --- 3. the full DStress protocol -------------------------------------
-    config = DStressConfig(
-        collusion_bound=2,           # blocks of k+1 = 3 nodes
-        fmt=fmt,
-        group=TOY_GROUP_64,          # fast demo group; see DESIGN.md
-        dlog_half_width=300,
-        edge_noise_alpha=0.4,        # transfer-protocol edge noise
-        output_epsilon=0.5,          # DP budget for this release
-        seed=2017,
+    result = (
+        session.clone()
+        .engine("secure")
+        .privacy(epsilon=0.5)        # DP budget for this release
+        .seed(2017)
+        .run(iterations="auto")
     )
-    result = SecureEngine(program, config).run(graph, iterations=6)
     print("\nDStress secure engine")
-    print(f"  released (noisy) TDS: {result.noisy_output:.3f}")
-    print(f"  iterations:           {result.iterations}")
-    print(f"  edge transfers:       {result.transfer_count}")
-    print(f"  GMW oblivious transfers: {result.gmw_ot_count:,}")
+    print(f"  released (noisy) TDS: {result.aggregate:.3f}")
+    print(f"  iterations:           {result.iterations} (auto-detected)")
+    print(f"  edge transfers:       {result.extras['transfer_count']:.0f}")
+    print(f"  GMW oblivious transfers: {result.extras['gmw_ot_count']:,.0f}")
     print(f"  mean traffic/node:    {result.traffic.mean_node_bytes_sent() / 1e6:.2f} MB")
     print(
         "  (simulation-only check: pre-noise output "
-        f"{result.pre_noise_output:.4f} matches the clear run)"
+        f"{result.pre_noise_aggregate:.4f} matches the clear run)"
     )
 
 

@@ -6,38 +6,56 @@ edge and (differentially private) output privacy. The headline use case is
 measuring systemic risk in financial networks without any bank revealing
 its books.
 
-Quickstart::
+Quickstart — the unified session API::
 
-    from repro import (
-        Bank, FinancialNetwork, EisenbergNoeProgram,
-        DStressConfig, SecureEngine, PlaintextEngine,
-    )
+    from repro import Bank, FinancialNetwork, StressTest
 
     net = FinancialNetwork()
     for i in range(4):
         net.add_bank(Bank(i, cash=1.0))
     net.add_debt(0, 1, 2.0)
     ...
-    program = EisenbergNoeProgram()
-    graph = net.to_en_graph(degree_bound=2)
-    result = SecureEngine(program, DStressConfig()).run(graph, iterations=4)
-    print(result.noisy_output)
+    result = (
+        StressTest(net)
+        .program("eisenberg-noe")
+        .engine("secure")
+        .preset("demo")
+        .privacy(epsilon=0.5)
+        .run(iterations="auto")
+    )
+    print(result.aggregate)      # the released, noised total shortfall
 
-See DESIGN.md for the architecture and EXPERIMENTS.md for the
-paper-reproduction results.
+The protocol-level classes (:class:`SecureEngine`, :class:`PlaintextEngine`,
+:class:`DStressConfig`, ...) remain public for callers that need direct
+control. See DESIGN.md for the architecture and README.md for the
+migration table from the pre-1.1 per-engine entry points.
 """
 
+import warnings
+
+from repro.api import (
+    BatchResult,
+    Engine,
+    RunResult,
+    Scenario,
+    ScenarioOutcome,
+    StressTest,
+    available_engines,
+    available_programs,
+    register_engine,
+    register_program,
+)
 from repro.core import (
     NO_OP_MESSAGE,
     DistributedGraph,
     PlaintextEngine,
-    PlaintextRun,
     ProgramSpec,
     VertexProgram,
     VertexView,
 )
-from repro.core.config import DStressConfig
-from repro.core.secure_engine import SecureEngine, SecureRunResult
+from repro.core.config import DStressConfig, available_presets
+from repro.core.convergence import convergence_index
+from repro.core.secure_engine import SecureEngine
 from repro.finance import (
     Bank,
     EisenbergNoeProgram,
@@ -49,15 +67,53 @@ from repro.finance import (
 from repro.mpc import FixedPointFormat
 from repro.privacy import DollarPrivacySpec, PrivacyAccountant
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Pre-1.1 top-level names kept importable through a deprecation shim:
+#: ``from repro import PlaintextRun`` still works but warns. The canonical
+#: engine-independent result type is now :class:`repro.RunResult`; the
+#: engine-native types remain public at their defining modules.
+_DEPRECATED_ALIASES = {
+    "PlaintextRun": (
+        "repro.core.engine",
+        "PlaintextRun",
+        "use repro.RunResult (returned by StressTest.run) or import it "
+        "from repro.core.engine",
+    ),
+    "SecureRunResult": (
+        "repro.core.secure_engine",
+        "SecureRunResult",
+        "use repro.RunResult (returned by StressTest.run) or import it "
+        "from repro.core.secure_engine",
+    ),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr, hint = _DEPRECATED_ALIASES[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    warnings.warn(
+        f"importing {name!r} from the top-level 'repro' package is "
+        f"deprecated since 1.1.0: {hint}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
 
 __all__ = [
     "Bank",
+    "BatchResult",
     "DStressConfig",
     "DistributedGraph",
     "DollarPrivacySpec",
     "EisenbergNoeProgram",
     "ElliottGolubJacksonProgram",
+    "Engine",
     "FinancialNetwork",
     "FixedPointFormat",
     "NO_OP_MESSAGE",
@@ -65,11 +121,21 @@ __all__ = [
     "PlaintextRun",
     "PrivacyAccountant",
     "ProgramSpec",
+    "RunResult",
+    "Scenario",
+    "ScenarioOutcome",
     "SecureEngine",
     "SecureRunResult",
+    "StressTest",
     "VertexProgram",
     "VertexView",
+    "available_engines",
+    "available_presets",
+    "available_programs",
     "clearing_vector",
+    "convergence_index",
     "egj_fixpoint",
+    "register_engine",
+    "register_program",
     "__version__",
 ]

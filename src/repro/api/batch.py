@@ -1,0 +1,263 @@
+"""Batch scenario execution: many networks/configs through one session.
+
+A regulator's workload is never one run — it is "these five shock
+scenarios, on this quarter's network, under this year's remaining
+budget". :func:`run_batch` (surfaced as :meth:`StressTest.run_many`)
+takes a template session plus a list of :class:`Scenario` deltas,
+resolves every scenario *up front* (so a typo in scenario #7 fails before
+scenario #1 burns an hour of MPC), charges the shared
+:class:`~repro.privacy.budget.PrivacyAccountant` for every
+output-releasing run (so a batch that would overrun the yearly ln 2
+budget is refused before any compute happens), then fans the resolved
+specs across a ``multiprocessing`` pool.
+
+Determinism: each scenario runs with its own explicitly-derived seed
+(``scenario.seed``, else the template config's seed), engines draw all
+randomness from :class:`~repro.crypto.rng.DeterministicRNG`, and results
+are returned in input order regardless of worker scheduling — so a batch
+is bit-reproducible across runs and worker counts.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api.engines import Engine
+from repro.api.result import RunResult
+from repro.api.session import ResolvedRun, execute_resolved
+from repro.core.config import DStressConfig
+from repro.core.graph import DistributedGraph
+from repro.core.program import VertexProgram
+from repro.exceptions import ConfigurationError, DStressError, PrivacyBudgetExceeded
+from repro.finance.network import FinancialNetwork
+from repro.privacy.budget import PrivacyAccountant
+
+__all__ = ["Scenario", "ScenarioOutcome", "BatchResult", "run_batch"]
+
+
+@dataclass
+class Scenario:
+    """One batch entry: a named delta on top of the template session.
+
+    Every field is optional except ``name``; unset fields inherit the
+    template's choice. ``overrides`` are extra
+    :class:`~repro.core.config.DStressConfig` field overrides applied
+    after the template's own.
+    """
+
+    name: str
+    network: Optional[FinancialNetwork] = None
+    graph: Optional[DistributedGraph] = None
+    program: Optional[Union[str, VertexProgram]] = None
+    engine: Optional[Union[str, Engine]] = None
+    preset: Optional[str] = None
+    config: Optional[DStressConfig] = None
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    epsilon: Optional[float] = None
+    iterations: Optional[Union[int, str]] = None
+    seed: Optional[int] = None
+    degree_bound: Optional[int] = None
+
+
+@dataclass
+class ScenarioOutcome:
+    """Per-scenario slot of a :class:`BatchResult`."""
+
+    name: str
+    result: Optional[RunResult] = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchResult:
+    """Everything one :meth:`StressTest.run_many` call produced."""
+
+    outcomes: List[ScenarioOutcome]
+    wall_seconds: float
+    workers: int = 1
+    epsilon_charged: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @property
+    def results(self) -> List[RunResult]:
+        """Successful results, in input order."""
+        return [o.result for o in self.outcomes if o.result is not None]
+
+    @property
+    def failures(self) -> List[ScenarioOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def scenario_seconds(self) -> Dict[str, float]:
+        """Per-scenario engine wall time (aggregate timing)."""
+        return {o.name: o.seconds for o in self.outcomes}
+
+    def aggregates(self) -> Dict[str, float]:
+        """Scenario name -> released aggregate, for the successful runs."""
+        return {
+            o.name: o.result.aggregate for o in self.outcomes if o.result is not None
+        }
+
+    def by_name(self, name: str) -> ScenarioOutcome:
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise ConfigurationError(
+            f"no scenario named {name!r} in this batch; scenarios: "
+            + ", ".join(o.name for o in self.outcomes)
+        )
+
+    def summary(self) -> str:
+        ok = sum(1 for o in self.outcomes if o.ok)
+        parts = [
+            f"{ok}/{len(self.outcomes)} scenarios ok",
+            f"wall={self.wall_seconds:.2f}s",
+            f"workers={self.workers}",
+        ]
+        if self.epsilon_charged:
+            parts.append(f"epsilon_charged={self.epsilon_charged:g}")
+        return " ".join(parts)
+
+
+def _apply_scenario(template: "StressTest", scenario: Scenario) -> "StressTest":
+    session = template.clone()
+    if scenario.network is not None:
+        session.network(scenario.network)
+        session._graph = None  # a scenario network supersedes a template graph
+    if scenario.graph is not None:
+        session.graph(scenario.graph)
+    if scenario.program is not None:
+        session.program(scenario.program)
+    if scenario.engine is not None:
+        session.engine(scenario.engine)
+    if scenario.preset is not None:
+        session._config = None  # a scenario preset supersedes a template config
+        session.preset(scenario.preset)
+    if scenario.config is not None:
+        session._preset_name = None
+        session.configure(scenario.config)
+    if scenario.overrides:
+        session.configure(**scenario.overrides)
+    if scenario.epsilon is not None:
+        session.privacy(epsilon=scenario.epsilon)
+    if scenario.seed is not None:
+        session.seed(scenario.seed)
+    if scenario.degree_bound is not None:
+        session.degree_bound(scenario.degree_bound)
+    return session
+
+
+def _run_payload(payload: ResolvedRun) -> ScenarioOutcome:
+    """Worker entry point: execute one resolved scenario, capture failures.
+
+    Workers never see the shared accountant — the parent charged it up
+    front — so a crashed worker can neither double-charge nor leak budget.
+    """
+    started = time.perf_counter()
+    try:
+        result = execute_resolved(payload, accountant=None)
+        return ScenarioOutcome(
+            name=payload.label, result=result, seconds=time.perf_counter() - started
+        )
+    except DStressError as exc:
+        return ScenarioOutcome(
+            name=payload.label,
+            error=f"{type(exc).__name__}: {exc}",
+            seconds=time.perf_counter() - started,
+        )
+    except Exception:  # pragma: no cover - defensive: report, don't hang the pool
+        return ScenarioOutcome(
+            name=payload.label,
+            error=traceback.format_exc(limit=5),
+            seconds=time.perf_counter() - started,
+        )
+
+
+def run_batch(
+    template: "StressTest",
+    scenarios,
+    workers: int = 1,
+    accountant: Optional[PrivacyAccountant] = None,
+) -> BatchResult:
+    """Resolve, budget-check, and execute a list of scenarios.
+
+    ``workers > 1`` runs scenarios in a fork-based ``multiprocessing``
+    pool; ``workers=1`` runs inline (handy under debuggers and on
+    platforms without fork). Results always come back in input order.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be at least 1")
+    scenario_list = list(scenarios)
+    if not scenario_list:
+        raise ConfigurationError("run_many needs at least one scenario")
+    names = [s.name for s in scenario_list]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ConfigurationError(f"duplicate scenario names: {dupes}")
+
+    # Resolve everything first: any bad scenario aborts the whole batch
+    # before compute or budget is spent.
+    payloads: List[ResolvedRun] = []
+    for scenario in scenario_list:
+        if not isinstance(scenario, Scenario):
+            raise ConfigurationError(
+                f"expected a Scenario, got {type(scenario).__name__}"
+            )
+        session = _apply_scenario(template, scenario)
+        iterations = scenario.iterations if scenario.iterations is not None else "auto"
+        try:
+            payloads.append(session.resolve(iterations, label=scenario.name))
+        except DStressError as exc:
+            raise ConfigurationError(
+                f"scenario {scenario.name!r} failed to resolve "
+                f"(no scenario was executed): {exc}"
+            ) from exc
+
+    # One accountant, charged sequentially (§4.5 composition) for every
+    # scenario whose engine noises and releases an output. The whole batch
+    # is affordability-checked first so a refusal leaves the budget
+    # untouched — no partial charges for runs that never happen.
+    epsilon_charged = 0.0
+    if accountant is not None:
+        releasing = [p for p in payloads if p.engine.releases_output]
+        total = sum(p.config.output_epsilon for p in releasing)
+        if not accountant.can_afford(total):
+            raise PrivacyBudgetExceeded(
+                f"batch needs epsilon {total:.4g} across {len(releasing)} "
+                f"releasing scenario(s) but only {accountant.remaining:.4g} "
+                f"of {accountant.epsilon_max:.4g} remains; drop scenarios, "
+                "lower per-release epsilon, or replenish the accountant"
+            )
+        for payload in releasing:
+            accountant.charge(payload.config.output_epsilon, label=payload.label)
+            epsilon_charged += payload.config.output_epsilon
+
+    started = time.perf_counter()
+    if workers == 1 or len(payloads) == 1:
+        outcomes = [_run_payload(p) for p in payloads]
+        effective_workers = 1
+    else:
+        effective_workers = min(workers, len(payloads))
+        ctx = get_context("fork")
+        with ctx.Pool(processes=effective_workers) as pool:
+            outcomes = pool.map(_run_payload, payloads)
+    return BatchResult(
+        outcomes=outcomes,
+        wall_seconds=time.perf_counter() - started,
+        workers=effective_workers,
+        epsilon_charged=epsilon_charged,
+    )

@@ -1,0 +1,223 @@
+"""Engine backends: one protocol, four implementations.
+
+An :class:`Engine` turns ``(program, graph, iterations, config)`` into a
+:class:`~repro.api.result.RunResult`. The four built-ins wrap the seed's
+previously-disjoint entry points:
+
+=============  ==========================================================
+``plaintext``  :meth:`PlaintextEngine.run_float` — the float oracle
+``fixed``      :meth:`PlaintextEngine.run_fixed` — clear circuit eval
+``secure``     :meth:`SecureEngine.run` — the full DStress protocol
+``naive-mpc``  the §5.5 monolithic-MPC baseline (computes the same
+               function centrally, projects the monolithic GMW cost)
+=============  ==========================================================
+
+All four compute the *same function* pre-noise on the same graph (the
+engine-parity tests assert it), so sweeps can trade fidelity for speed by
+swapping one string. New backends (async, sharded, remote) implement
+:class:`Engine` and call :func:`~repro.api.registry.register_engine`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.api.registry import register_engine
+from repro.api.result import RunResult
+from repro.core.config import DStressConfig
+from repro.core.engine import PlaintextEngine, PlaintextRun
+from repro.core.graph import DistributedGraph
+from repro.core.program import VertexProgram
+from repro.core.secure_engine import SecureEngine
+from repro.crypto.rng import DeterministicRNG
+from repro.privacy.budget import PrivacyAccountant
+from repro.privacy.mechanisms import two_sided_geometric_sample
+from repro.simulation.naive_baseline import estimate_monolithic_seconds
+
+__all__ = [
+    "Engine",
+    "PlaintextFloatEngine",
+    "PlaintextFixedEngine",
+    "SecureDStressEngine",
+    "NaiveMPCEngine",
+]
+
+
+class Engine(ABC):
+    """One way of executing a vertex program over a distributed graph."""
+
+    #: Registry name (also stamped on every result this engine produces).
+    name: str = "abstract"
+    #: Whether :meth:`execute` noises and releases an output — i.e. whether
+    #: a run through this engine consumes differential-privacy budget. The
+    #: session and batch layers charge the shared accountant based on this.
+    releases_output: bool = False
+
+    @abstractmethod
+    def execute(
+        self,
+        program: VertexProgram,
+        graph: DistributedGraph,
+        iterations: int,
+        config: DStressConfig,
+        accountant: Optional[PrivacyAccountant] = None,
+    ) -> RunResult:
+        """Run ``program`` for ``iterations`` rounds and normalize the result."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class PlaintextFloatEngine(Engine):
+    """The float reference semantics (what a trusted regulator computes)."""
+
+    name = "plaintext"
+
+    def execute(self, program, graph, iterations, config, accountant=None):
+        started = time.perf_counter()
+        run = PlaintextEngine(program).run_float(graph, iterations)
+        return _from_plaintext(self.name, program, run, iterations, started)
+
+
+class PlaintextFixedEngine(Engine):
+    """Clear evaluation of the MPC circuits — the secure engine's oracle."""
+
+    name = "fixed"
+
+    def execute(self, program, graph, iterations, config, accountant=None):
+        started = time.perf_counter()
+        run = PlaintextEngine(program).run_fixed(graph, iterations)
+        return _from_plaintext(self.name, program, run, iterations, started)
+
+
+def _from_plaintext(
+    engine_name: str,
+    program: VertexProgram,
+    run: PlaintextRun,
+    iterations: int,
+    started: float,
+) -> RunResult:
+    return RunResult(
+        engine=engine_name,
+        program=program.name,
+        aggregate=run.aggregate,
+        trajectory=list(run.trajectory),
+        iterations=iterations,
+        wall_seconds=time.perf_counter() - started,
+        final_states=run.final_states,
+        raw=run,
+    )
+
+
+class SecureDStressEngine(Engine):
+    """The full DStress protocol stack (§3.3–§3.6)."""
+
+    name = "secure"
+    releases_output = True
+
+    def execute(self, program, graph, iterations, config, accountant=None):
+        started = time.perf_counter()
+        result = SecureEngine(program, config).run(
+            graph, iterations, accountant=accountant
+        )
+        return RunResult(
+            engine=self.name,
+            program=program.name,
+            aggregate=result.noisy_output,
+            trajectory=list(result.trajectory),
+            iterations=iterations,
+            wall_seconds=time.perf_counter() - started,
+            pre_noise_aggregate=result.pre_noise_output,
+            noise_raw=result.noise_raw,
+            epsilon=config.output_epsilon,
+            traffic=result.traffic,
+            phases=result.phases,
+            extras={
+                "transfer_count": float(result.transfer_count),
+                "gmw_ot_count": float(result.gmw_ot_count),
+                "aggregation_levels": float(result.aggregation_levels),
+            },
+            raw=result,
+        )
+
+
+class NaiveMPCEngine(Engine):
+    """The §5.5 monolithic-MPC strawman, as an engine backend.
+
+    The baseline computes the *same* DP release as DStress, just as one
+    giant circuit among all participants — which is exactly why the paper
+    rejects it: the cost is O(N^3) per iteration. Running that circuit for
+    real is infeasible beyond a handful of banks even in the paper's
+    Wysteria prototype, so this adapter does what §5.5 does:
+
+    * computes the aggregate centrally (the monolithic circuit's output
+      equals the reference semantics) and noises it with the same
+      two-sided geometric mechanism the DStress aggregation block samples
+      in MPC;
+    * measures *real* GMW matrix multiplies at small N, fits the cubic,
+      and reports the projected monolithic runtime for this graph in
+      ``extras["projected_mpc_seconds"]`` (the "287 years" number).
+
+    Set ``estimate_cost=False`` to skip the GMW calibration when only the
+    release value matters.
+    """
+
+    name = "naive-mpc"
+    releases_output = True
+
+    def __init__(
+        self,
+        estimate_cost: bool = True,
+        sample_sizes: Sequence[int] = (2, 3),
+        max_parties: int = 3,
+    ) -> None:
+        self.estimate_cost = estimate_cost
+        self.sample_sizes = tuple(sample_sizes)
+        self.max_parties = max_parties
+
+    def execute(self, program, graph, iterations, config, accountant=None):
+        started = time.perf_counter()
+        if accountant is not None:
+            accountant.charge(
+                config.output_epsilon, label=f"{program.name}-naive-release"
+            )
+        run = PlaintextEngine(program).run_fixed(graph, iterations)
+        fmt = program.fmt
+        rng = DeterministicRNG(config.seed).fork("naive-output-noise")
+        noise_raw = two_sided_geometric_sample(
+            config.noise_alpha_for(program.sensitivity), rng
+        )
+        extras = {}
+        if self.estimate_cost:
+            parties = min(config.block_size, self.max_parties)
+            projected, fit = estimate_monolithic_seconds(
+                graph.num_vertices,
+                iterations,
+                fmt,
+                parties=parties,
+                sample_sizes=self.sample_sizes,
+            )
+            extras["projected_mpc_seconds"] = projected
+            extras["fit_coefficient"] = fit.coefficient
+        return RunResult(
+            engine=self.name,
+            program=program.name,
+            aggregate=run.aggregate + noise_raw * fmt.resolution,
+            trajectory=list(run.trajectory),
+            iterations=iterations,
+            wall_seconds=time.perf_counter() - started,
+            pre_noise_aggregate=run.aggregate,
+            noise_raw=noise_raw,
+            epsilon=config.output_epsilon,
+            final_states=run.final_states,
+            extras=extras,
+            raw=run,
+        )
+
+
+register_engine("plaintext", PlaintextFloatEngine, aliases=("float", "clear"))
+register_engine("fixed", PlaintextFixedEngine, aliases=("plaintext-fixed",))
+register_engine("secure", SecureDStressEngine, aliases=("dstress",))
+register_engine("naive-mpc", NaiveMPCEngine, aliases=("naive", "monolithic"))

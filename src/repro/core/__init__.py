@@ -1,10 +1,12 @@
 """DStress core: programming model, plaintext and secure engines."""
 
+from repro.core.convergence import DEFAULT_TOLERANCE, convergence_index, has_converged
 from repro.core.engine import PlaintextEngine, PlaintextRun
 from repro.core.graph import DistributedGraph, VertexView
 from repro.core.program import NO_OP_MESSAGE, ProgramSpec, VertexProgram
 
 __all__ = [
+    "DEFAULT_TOLERANCE",
     "DistributedGraph",
     "NO_OP_MESSAGE",
     "PlaintextEngine",
@@ -12,4 +14,6 @@ __all__ = [
     "ProgramSpec",
     "VertexProgram",
     "VertexView",
+    "convergence_index",
+    "has_converged",
 ]

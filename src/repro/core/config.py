@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
 
-from repro.crypto.group import GROUP_256, CyclicGroup
+from repro.crypto.group import GROUP_256, GROUP_512, TOY_GROUP_64, CyclicGroup
 from repro.exceptions import ConfigurationError
 from repro.mpc.fixedpoint import FixedPointFormat
 
-__all__ = ["DStressConfig"]
+__all__ = ["DStressConfig", "available_presets"]
 
 
 @dataclass
@@ -105,3 +105,81 @@ class DStressConfig:
             return self.noise_magnitude_bits
         scale_lsb = sensitivity / (self.output_epsilon * self.fmt.resolution)
         return max(4, math.ceil(math.log2(scale_lsb * 16.0)))
+
+    # -- presets -----------------------------------------------------------------
+
+    @classmethod
+    def preset(cls, name: str, **overrides: Any) -> "DStressConfig":
+        """A named parameter bundle, optionally customized.
+
+        * ``demo`` — toy 64-bit group, small dlog window, generous epsilon:
+          runs the full protocol on a laptop in seconds. Not private in any
+          cryptographic sense (the group is breakable by hand).
+        * ``paper`` — the paper's evaluation regime (§5): blocks of 8,
+          256-bit DDH group, epsilon 0.23 so three releases fit in the
+          yearly ln 2 budget.
+        * ``production`` — conservative deployment parameters: blocks of
+          10, 512-bit group, wider fixed point, padded transfers so vertex
+          degrees stay hidden.
+
+        Keyword overrides are applied on top of the preset and validated
+        together (``DStressConfig.preset("demo", output_epsilon=0.1)``).
+        """
+        try:
+            base = _PRESETS[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown preset {name!r}; available presets: "
+                + ", ".join(available_presets())
+            ) from None
+        config = cls(**base)
+        return config.with_updates(**overrides) if overrides else config
+
+    def with_updates(self, **overrides: Any) -> "DStressConfig":
+        """A copy with fields replaced (re-validated by ``__post_init__``)."""
+        try:
+            return replace(self, **overrides)
+        except TypeError:
+            valid = ", ".join(sorted(self.__dataclass_fields__))
+            bad = sorted(set(overrides) - set(self.__dataclass_fields__))
+            raise ConfigurationError(
+                f"unknown config field(s) {bad}; valid fields: {valid}"
+            ) from None
+
+
+#: Named parameter bundles for :meth:`DStressConfig.preset`. Values are all
+#: immutable, so sharing the singletons across configs is safe.
+_PRESETS: Dict[str, Dict[str, Any]] = {
+    "demo": dict(
+        collusion_bound=2,
+        fmt=FixedPointFormat(16, 8),
+        group=TOY_GROUP_64,
+        dlog_half_width=300,
+        edge_noise_alpha=0.4,
+        output_epsilon=0.5,
+        seed=2017,
+    ),
+    "paper": dict(
+        collusion_bound=7,
+        fmt=FixedPointFormat(16, 8),
+        group=GROUP_256,
+        dlog_half_width=4096,
+        edge_noise_alpha=0.5,
+        output_epsilon=0.23,
+    ),
+    "production": dict(
+        collusion_bound=9,
+        fmt=FixedPointFormat(24, 10),
+        group=GROUP_512,
+        dlog_half_width=1 << 15,
+        edge_noise_alpha=0.5,
+        output_epsilon=0.23,
+        aggregation_fanout=100,
+        pad_transfers=True,
+    ),
+}
+
+
+def available_presets() -> List[str]:
+    """Names accepted by :meth:`DStressConfig.preset`."""
+    return sorted(_PRESETS)

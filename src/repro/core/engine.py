@@ -19,8 +19,9 @@ oracle, so it returns the exact aggregate).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.core.convergence import DEFAULT_TOLERANCE, convergence_index
 from repro.core.graph import DistributedGraph
 from repro.core.program import NO_OP_MESSAGE, VertexProgram
 from repro.exceptions import ConfigurationError
@@ -36,6 +37,11 @@ class PlaintextRun:
     final_states: Dict[int, Dict[str, float]]
     #: per-iteration aggregate of the designated register (convergence data)
     trajectory: List[float] = field(default_factory=list)
+
+    def converged_at(self, tolerance: float = DEFAULT_TOLERANCE) -> Optional[int]:
+        """Smallest iteration count after which the aggregate stopped
+        moving by more than ``tolerance`` (``None`` if it never settled)."""
+        return convergence_index(self.trajectory, tolerance)
 
 
 class PlaintextEngine:

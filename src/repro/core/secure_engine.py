@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 from repro.core.aggregation import AggregationPlan, plan_groups, reshare_word
 from repro.core.config import DStressConfig
+from repro.core.convergence import DEFAULT_TOLERANCE, convergence_index
 from repro.core.graph import DistributedGraph
 from repro.core.node import SimulatedNode
 from repro.core.program import NO_OP_MESSAGE, VertexProgram
@@ -79,10 +80,20 @@ class SecureRunResult:
     output_epsilon: float = 0.0
     edge_epsilon_per_iteration: Optional[float] = None
     aggregation_levels: int = 1
+    #: Simulation-only diagnostic: pre-noise aggregate after each
+    #: computation step, reconstructed by the harness from the XOR shares.
+    #: No protocol participant ever sees these values; a real deployment
+    #: releases only ``noisy_output``.
+    trajectory: List[float] = field(default_factory=list)
 
     @property
     def mean_traffic_per_node(self) -> float:
         return self.traffic.mean_node_total_bytes()
+
+    def converged_at(self, tolerance: float = DEFAULT_TOLERANCE) -> Optional[int]:
+        """Smallest iteration count after which the (simulation-only)
+        pre-noise aggregate stopped moving by more than ``tolerance``."""
+        return convergence_index(self.trajectory, tolerance)
 
 
 class SecureEngine:
@@ -200,6 +211,7 @@ class SecureEngine:
         )
         total_ots = 0
         transfer_count = 0
+        trajectory: List[float] = []
 
         outbox_shares: Dict[int, List[List[int]]] = {}
         for step in range(iterations):
@@ -207,6 +219,7 @@ class SecureEngine:
                 graph, gmw, circuits, vertex_bound, state_shares, inbox_shares,
                 outbox_shares, assignment, meter, phases, rng,
             )
+            trajectory.append(self._simulated_aggregate(graph, state_shares))
             transfer_count += self._communication_step(
                 graph, nodes, assignment, vertex_bound, inbox_shares,
                 outbox_shares, meter, phases, rng,
@@ -216,6 +229,7 @@ class SecureEngine:
             graph, gmw, circuits, vertex_bound, state_shares, inbox_shares,
             outbox_shares, assignment, meter, phases, rng,
         )
+        trajectory.append(self._simulated_aggregate(graph, state_shares))
 
         # ------------------------------------------------- aggregation --
         started = time.perf_counter()
@@ -245,9 +259,26 @@ class SecureEngine:
             output_epsilon=config.output_epsilon,
             edge_epsilon_per_iteration=edge_eps,
             aggregation_levels=levels,
+            trajectory=trajectory,
         )
 
     # ------------------------------------------------------------ phases --
+
+    def _simulated_aggregate(self, graph: DistributedGraph, state_shares) -> float:
+        """Reconstruct the pre-noise aggregate (simulation-only diagnostic).
+
+        The harness — not any protocol participant — XORs the shares back
+        together so results can expose a convergence trajectory comparable
+        to :class:`~repro.core.engine.PlaintextRun`.
+        """
+        fmt = self.program.fmt
+        register = self.program.aggregate_register
+        raw = 0
+        for v in graph.vertex_ids:
+            raw += fmt.from_unsigned(
+                reconstruct_value(state_shares[v][register], fmt.total_bits)
+            )
+        return fmt.decode(raw)
 
     def _assign_buckets(
         self, graph: DistributedGraph, bucket_bounds: Optional[List[int]]

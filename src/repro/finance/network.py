@@ -144,6 +144,15 @@ class FinancialNetwork:
             inc[holding.holder] = inc.get(holding.holder, 0) + 1
         return max(list(out.values()) + list(inc.values()) + [0])
 
+    # -- session API -----------------------------------------------------------
+
+    def stress_test(self) -> "StressTest":
+        """Open a :class:`~repro.api.session.StressTest` session over this
+        network: ``net.stress_test().program("en").engine("secure").run()``."""
+        from repro.api.session import StressTest
+
+        return StressTest(self)
+
     # -- DStress graph views ---------------------------------------------------------
 
     def to_en_graph(self, degree_bound: Optional[int] = None) -> DistributedGraph:

@@ -30,6 +30,7 @@ __all__ = [
     "measure_matmul_seconds",
     "NaiveBaselineFit",
     "fit_naive_baseline",
+    "estimate_monolithic_seconds",
 ]
 
 
@@ -111,3 +112,24 @@ def fit_naive_baseline(
     numerator = sum(t * n**3 for n, t in samples)
     denominator = sum(n**6 for n, _ in samples)
     return NaiveBaselineFit(coefficient=numerator / denominator, sample_points=samples)
+
+
+def estimate_monolithic_seconds(
+    n: int,
+    iterations: int,
+    fmt: FixedPointFormat,
+    parties: int = 3,
+    sample_sizes: Sequence[int] = (2, 3),
+) -> Tuple[float, NaiveBaselineFit]:
+    """Project the naive-MPC runtime for an ``n``-bank, ``iterations``-round
+    stress test (the paper's "about 287 years" pipeline, §5.5).
+
+    Measures real GMW matrix multiplies at ``sample_sizes``, fits the
+    cubic, and extrapolates to ``n`` banks and ``iterations - 1``
+    multiplies. Returns the projected seconds together with the fit so
+    callers can report the calibration points.
+    """
+    if n < 1:
+        raise ConfigurationError("bank count must be positive")
+    fit = fit_naive_baseline(sample_sizes, fmt, parties=parties)
+    return fit.seconds_end_to_end(n, iterations), fit
