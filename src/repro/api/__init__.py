@@ -8,9 +8,9 @@ across a process pool while one :class:`~repro.privacy.budget.PrivacyAccountant`
 guards the yearly budget.
 
 Importing this package registers the built-in engines (``plaintext``,
-``fixed``, ``secure``, ``naive-mpc``) and programs (``eisenberg-noe``,
-``elliott-golub-jackson``). See DESIGN.md for the architecture and
-README.md for the old-call → new-call migration table.
+``fixed``, ``secure``, ``naive-mpc``, ``sharded``) and programs
+(``eisenberg-noe``, ``elliott-golub-jackson``). See DESIGN.md for the
+architecture and README.md for the old-call → new-call migration table.
 """
 
 from repro.api.batch import BatchResult, Scenario, ScenarioOutcome, run_batch
@@ -21,6 +21,7 @@ from repro.api.engines import (
     PlaintextFloatEngine,
     SecureDStressEngine,
 )
+from repro.api.sharded import ShardedEngine
 from repro.api.registry import (
     ProgramEntry,
     available_engines,
@@ -45,6 +46,7 @@ __all__ = [
     "Scenario",
     "ScenarioOutcome",
     "SecureDStressEngine",
+    "ShardedEngine",
     "StressTest",
     "available_engines",
     "available_programs",

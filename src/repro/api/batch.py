@@ -23,10 +23,10 @@ from __future__ import annotations
 import time
 import traceback
 from dataclasses import dataclass, field
-from multiprocessing import get_context
 from typing import Any, Dict, List, Optional, Union
 
 from repro.api.engines import Engine
+from repro.api.pool import map_in_pool, plan_workers
 from repro.api.result import RunResult
 from repro.api.session import ResolvedRun, execute_resolved
 from repro.core.config import DStressConfig
@@ -54,6 +54,12 @@ class Scenario:
     graph: Optional[DistributedGraph] = None
     program: Optional[Union[str, VertexProgram]] = None
     engine: Optional[Union[str, Engine]] = None
+    #: constructor options for a registry-named engine (e.g.
+    #: ``engine="sharded", engine_options={"shards": 3}``). Without
+    #: ``engine``, they re-apply to the template's engine name. Note a
+    #: scenario ``engine`` string *replaces* the template's options, same
+    #: as calling :meth:`StressTest.engine` again.
+    engine_options: Dict[str, Any] = field(default_factory=dict)
     preset: Optional[str] = None
     config: Optional[DStressConfig] = None
     overrides: Dict[str, Any] = field(default_factory=dict)
@@ -143,7 +149,15 @@ def _apply_scenario(template: "StressTest", scenario: Scenario) -> "StressTest":
     if scenario.program is not None:
         session.program(scenario.program)
     if scenario.engine is not None:
-        session.engine(scenario.engine)
+        session.engine(scenario.engine, **scenario.engine_options)
+    elif scenario.engine_options:
+        if not isinstance(session._engine_spec, str):
+            raise ConfigurationError(
+                "engine_options need a registry-named engine, but the "
+                "template engine is an Engine instance; name the engine in "
+                "the scenario or construct the instance with its options"
+            )
+        session.engine(session._engine_spec, **scenario.engine_options)
     if scenario.preset is not None:
         session._config = None  # a scenario preset supersedes a template config
         session.preset(scenario.preset)
@@ -176,13 +190,14 @@ def _run_payload(payload: ResolvedRun) -> ScenarioOutcome:
     except DStressError as exc:
         return ScenarioOutcome(
             name=payload.label,
-            error=f"{type(exc).__name__}: {exc}",
+            error=f"scenario {payload.label!r}: {type(exc).__name__}: {exc}",
             seconds=time.perf_counter() - started,
         )
-    except Exception:  # pragma: no cover - defensive: report, don't hang the pool
+    except Exception:  # defensive: report, don't hang the pool
         return ScenarioOutcome(
             name=payload.label,
-            error=traceback.format_exc(limit=5),
+            error=f"scenario {payload.label!r} crashed:\n"
+            + traceback.format_exc(limit=5),
             seconds=time.perf_counter() - started,
         )
 
@@ -217,15 +232,28 @@ def run_batch(
             raise ConfigurationError(
                 f"expected a Scenario, got {type(scenario).__name__}"
             )
-        session = _apply_scenario(template, scenario)
         iterations = scenario.iterations if scenario.iterations is not None else "auto"
         try:
+            session = _apply_scenario(template, scenario)
             payloads.append(session.resolve(iterations, label=scenario.name))
         except DStressError as exc:
             raise ConfigurationError(
                 f"scenario {scenario.name!r} failed to resolve "
                 f"(no scenario was executed): {exc}"
             ) from exc
+
+    # Sharded scenarios inside a pool worker run their shards inline
+    # (daemonic workers cannot fork — bit-identical, just sequential), so
+    # each worker stays one process; plan_workers additionally caps the
+    # scenario fan-out at the CPU budget so sharded batches never run
+    # more compute-bound workers than cores, while a serial batch keeps
+    # the parent's full shard pool. Planned before the accountant is
+    # touched: a planning failure must not burn budget for runs that
+    # never happen.
+    shard_width = max(
+        (int(getattr(p.engine, "shards", 1)) for p in payloads), default=1
+    )
+    effective_workers = plan_workers(workers, len(payloads), shard_width)
 
     # One accountant, charged sequentially (§4.5 composition) for every
     # scenario whose engine noises and releases an output. The whole batch
@@ -247,14 +275,7 @@ def run_batch(
             epsilon_charged += payload.config.output_epsilon
 
     started = time.perf_counter()
-    if workers == 1 or len(payloads) == 1:
-        outcomes = [_run_payload(p) for p in payloads]
-        effective_workers = 1
-    else:
-        effective_workers = min(workers, len(payloads))
-        ctx = get_context("fork")
-        with ctx.Pool(processes=effective_workers) as pool:
-            outcomes = pool.map(_run_payload, payloads)
+    outcomes = map_in_pool(_run_payload, payloads, effective_workers)
     return BatchResult(
         outcomes=outcomes,
         wall_seconds=time.perf_counter() - started,

@@ -10,11 +10,13 @@ previously-disjoint entry points:
 ``secure``     :meth:`SecureEngine.run` — the full DStress protocol
 ``naive-mpc``  the §5.5 monolithic-MPC baseline (computes the same
                function centrally, projects the monolithic GMW cost)
+``sharded``    float mode partitioned across worker processes within one
+               run (:class:`~repro.api.sharded.ShardedEngine`)
 =============  ==========================================================
 
-All four compute the *same function* pre-noise on the same graph (the
-engine-parity tests assert it), so sweeps can trade fidelity for speed by
-swapping one string. New backends (async, sharded, remote) implement
+All built-ins compute the *same function* pre-noise on the same graph
+(the engine-parity tests assert it), so sweeps can trade fidelity for
+speed by swapping one string. New backends (async, remote) implement
 :class:`Engine` and call :func:`~repro.api.registry.register_engine`.
 """
 

@@ -1,0 +1,109 @@
+"""Shared process-pool plumbing for the batch and sharded layers.
+
+Two layers of the API fork worker processes: :func:`repro.api.batch.run_batch`
+fans *scenarios* across a pool, and the sharded engine fans *vertex shards
+of one run* across a pool. Both kinds of pool are planned and created
+here so their interaction is governed in one place:
+
+* **No nested pools.** ``multiprocessing`` pool workers are daemonic and
+  may not fork children, so a sharded run scheduled inside a batch worker
+  must not try to open its own pool. :func:`in_worker_process` detects
+  that situation; the sharded engine then computes its shards inline
+  (sequentially in the worker — same partition, same arithmetic, so the
+  result is bit-identical).
+* **No oversubscription.** When a batch contains sharded scenarios, the
+  useful parallelism is ``workers x shards``; :func:`plan_workers` caps
+  the scenario-level worker count so that product stays within the CPU
+  budget instead of stacking two pools' worth of processes.
+* **One fork policy.** Everything uses the fork start method: payloads
+  stay picklable-small, and engines inherit read-only program/graph state
+  instead of re-importing it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from multiprocessing import get_context
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "cpu_budget",
+    "in_worker_process",
+    "plan_workers",
+    "create_pool",
+    "map_in_pool",
+]
+
+
+def cpu_budget() -> int:
+    """Usable CPU count (at least 1; the fallback when undetectable)."""
+    return os.cpu_count() or 1
+
+
+def in_worker_process() -> bool:
+    """Whether we are inside a pool worker (daemonic ⇒ cannot fork again)."""
+    return multiprocessing.current_process().daemon
+
+
+def plan_workers(requested: int, num_tasks: int, shard_width: int = 1) -> int:
+    """Effective worker count for a task-level pool.
+
+    ``requested`` is bounded by the number of tasks (idle workers are
+    pointless). ``shard_width > 1`` signals that the tasks would *like*
+    to fork shard pools of that width; since shard pools inside a pool
+    worker always degrade to inline execution (daemonic workers cannot
+    fork), each worker is one process either way — so the only cap worth
+    paying for is the CPU budget: never stack more sharded-scenario
+    workers than CPUs, and let a serial batch (``effective == 1``) keep
+    the parent's full shard pool. Live processes therefore never exceed
+    ``max(cpu_budget, shard_width)``. ``shard_width == 1`` keeps the
+    historical batch behavior: the caller's worker count is honored even
+    beyond the CPU count (scenario workers are frequently I/O-idle in
+    simulation).
+    """
+    if requested < 1:
+        raise ConfigurationError("workers must be at least 1")
+    if shard_width < 1:
+        raise ConfigurationError("shard width must be at least 1")
+    effective = min(requested, max(1, num_tasks))
+    if shard_width > 1:
+        effective = max(1, min(effective, cpu_budget()))
+    return effective
+
+
+def create_pool(
+    processes: int,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+):
+    """A fork-context pool; the caller owns its lifetime (use ``with``)."""
+    if processes < 1:
+        raise ConfigurationError("a pool needs at least one process")
+    if in_worker_process():
+        raise ConfigurationError(
+            "cannot open a process pool inside a pool worker; run the "
+            "nested stage inline instead (see repro.api.pool docs)"
+        )
+    ctx = get_context("fork")
+    return ctx.Pool(processes=processes, initializer=initializer, initargs=initargs)
+
+
+def map_in_pool(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: int,
+) -> List[Any]:
+    """Map ``fn`` over ``payloads`` preserving input order.
+
+    ``workers == 1`` (or a single payload) runs inline — handy under
+    debuggers, on platforms without fork, and inside pool workers where
+    forking again is forbidden.
+    """
+    items = list(payloads)
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with create_pool(min(workers, len(items))) as pool:
+        return pool.map(fn, items)

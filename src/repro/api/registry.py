@@ -69,8 +69,13 @@ def register_engine(
         _ENGINE_ALIASES[alias] = name
 
 
-def get_engine(name: str) -> "Engine":
-    """Instantiate the backend registered under ``name`` (or an alias)."""
+def get_engine(name: str, **options) -> "Engine":
+    """Instantiate the backend registered under ``name`` (or an alias).
+
+    ``options`` are forwarded to the factory — e.g.
+    ``get_engine("sharded", shards=4)``. A factory that does not accept
+    the given options raises a :class:`ConfigurationError` naming them.
+    """
     # A directly-registered name always wins over an alias of the same
     # spelling (relevant after replace=True re-registrations).
     canonical = name if name in _ENGINE_FACTORIES else _ENGINE_ALIASES.get(name, name)
@@ -81,7 +86,14 @@ def get_engine(name: str) -> "Engine":
             f"unknown engine {name!r}; registered engines: "
             + ", ".join(available_engines())
         ) from None
-    return factory()
+    try:
+        return factory(**options)
+    except TypeError as exc:
+        if not options:
+            raise  # a factory bug, not an option mismatch — don't mislabel it
+        raise ConfigurationError(
+            f"engine {name!r} rejected options {sorted(options)}: {exc}"
+        ) from exc
 
 
 def available_engines() -> List[str]:

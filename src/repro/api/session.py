@@ -92,6 +92,7 @@ class StressTest:
             self.network(network)
         self._program_spec: Optional[Union[str, VertexProgram]] = None
         self._engine_spec: Union[str, Engine] = "plaintext"
+        self._engine_options: Dict[str, Any] = {}
         self._preset_name: Optional[str] = None
         self._config: Optional[DStressConfig] = None
         self._overrides: Dict[str, Any] = {}
@@ -130,15 +131,26 @@ class StressTest:
         self._program_spec = program
         return self
 
-    def engine(self, engine: Union[str, Engine]) -> "StressTest":
+    def engine(self, engine: Union[str, Engine], **options: Any) -> "StressTest":
         """Choose the backend — ``"plaintext"``, ``"fixed"``, ``"secure"``,
-        ``"naive-mpc"``, or any :class:`Engine` instance."""
+        ``"naive-mpc"``, ``"sharded"``, or any :class:`Engine` instance.
+
+        Keyword ``options`` configure a registry backend at construction
+        time (``.engine("sharded", shards=4)``); they replace any options
+        from an earlier ``.engine(...)`` call.
+        """
         if not isinstance(engine, (str, Engine)):
             raise ConfigurationError(
                 f"engine must be a registry name or an Engine instance, "
                 f"got {type(engine).__name__}"
             )
+        if options and not isinstance(engine, str):
+            raise ConfigurationError(
+                "engine options only apply to registry names; construct the "
+                "Engine instance with its options instead"
+            )
         self._engine_spec = engine
+        self._engine_options = dict(options)
         return self
 
     def preset(self, name: str) -> "StressTest":
@@ -193,6 +205,7 @@ class StressTest:
         other._graph = self._graph
         other._program_spec = self._program_spec
         other._engine_spec = self._engine_spec
+        other._engine_options = copy.copy(self._engine_options)
         other._preset_name = self._preset_name
         other._config = self._config
         other._overrides = copy.copy(self._overrides)
@@ -249,7 +262,7 @@ class StressTest:
     def _resolve_engine(self) -> Engine:
         if isinstance(self._engine_spec, Engine):
             return self._engine_spec
-        return get_engine(self._engine_spec)
+        return get_engine(self._engine_spec, **self._engine_options)
 
     def _resolve_program_and_graph(self, config: DStressConfig):
         spec = self._program_spec

@@ -1,0 +1,207 @@
+"""The sharded engine: intra-run vertex partitioning across processes.
+
+Every other backend walks all vertices in one process; ``run_many`` only
+parallelizes *across* scenarios. This backend is the first intra-run
+distribution mechanism: the graph's vertices are partitioned into
+contiguous shards, each round's vertex programs run shard-locally in a
+worker process, and boundary ("ghost") messages are exchanged between
+shards at the round barrier — the §3.6 schedule driven by the shared
+:func:`~repro.core.rounds.run_rounds` scheduler, with the superstep fanned
+across a :mod:`repro.api.pool` pool.
+
+Determinism argument (asserted bit-for-bit by the parity tests):
+
+1. **Partition** — shards are contiguous runs of the sorted vertex ids,
+   a pure function of ``(vertex_ids, shards)``; no scheduler state leaks in.
+2. **Superstep** — each vertex's ``float_update`` sees exactly the state
+   and inbox it would see in the plaintext engine; vertices are
+   independent within a round, so *where* one runs cannot change its value.
+3. **Merge order** — workers return their shard's states in ascending id
+   order and shards are merged in ascending order, so the merged dict has
+   the same insertion order as the plaintext engine's state map, and the
+   trajectory observer sums floats in the same order (float addition is
+   not associative — the merge preserving order is what makes the
+   trajectory bit-identical rather than merely close).
+4. **Ghost exchange** — routing runs once per round barrier on the full
+   outbox map, identical to the single-process route.
+
+Inside a batch worker (daemonic ⇒ no child processes allowed) the same
+partition runs inline, sequentially; by (2) and (3) the result is
+unchanged, so sharded scenarios compose with ``run_many`` transparently.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.api.engines import Engine, _from_plaintext
+from repro.api.pool import create_pool, in_worker_process
+from repro.api.registry import register_engine
+from repro.core.engine import PlaintextEngine, PlaintextRun
+from repro.core.graph import DistributedGraph
+from repro.core.program import NO_OP_MESSAGE, VertexProgram
+from repro.core.rounds import route_messages, run_rounds, sequential_superstep
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ShardedEngine", "partition_vertices", "cross_shard_edges"]
+
+
+def partition_vertices(vertex_ids: List[int], shards: int) -> List[List[int]]:
+    """Split sorted vertex ids into at most ``shards`` contiguous chunks.
+
+    Chunk sizes differ by at most one and empty chunks are dropped (more
+    shards than vertices degrades to one vertex per shard). Contiguity
+    over the sorted ids is what lets the barrier merge reproduce the
+    plaintext engine's state-map ordering by concatenation alone.
+    """
+    if shards < 1:
+        raise ConfigurationError("shard count must be at least 1")
+    ids = sorted(vertex_ids)
+    count = min(shards, len(ids))
+    if count == 0:
+        return []
+    base, extra = divmod(len(ids), count)
+    chunks: List[List[int]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(ids[start : start + size])
+        start += size
+    return chunks
+
+
+def cross_shard_edges(graph: DistributedGraph, chunks: List[List[int]]) -> int:
+    """Directed edges whose endpoints live on different shards — each one
+    carries a ghost message across the barrier every round."""
+    shard_of = {vid: index for index, chunk in enumerate(chunks) for vid in chunk}
+    return sum(
+        1 for src, dst in graph.edges() if shard_of[src] != shard_of[dst]
+    )
+
+
+# Worker-side globals, installed once per pool worker by the initializer so
+# the per-round payloads carry only shard state, not the program.
+_WORKER_PROGRAM: VertexProgram = None  # type: ignore[assignment]
+_WORKER_DEGREE_BOUND: int = 0
+
+
+def _init_shard_worker(program: VertexProgram, degree_bound: int) -> None:
+    global _WORKER_PROGRAM, _WORKER_DEGREE_BOUND
+    _WORKER_PROGRAM = program
+    _WORKER_DEGREE_BOUND = degree_bound
+
+
+def _shard_step(
+    payload: Tuple[Dict[int, Dict[str, float]], Dict[int, List[float]]],
+) -> Tuple[Dict[int, Dict[str, float]], Dict[int, List[float]]]:
+    """One shard's share of a superstep: update its vertices, in id order."""
+    states, inboxes = payload
+    superstep = sequential_superstep(
+        sorted(states),
+        lambda _vid, state, messages: _WORKER_PROGRAM.float_update(
+            state, messages, _WORKER_DEGREE_BOUND
+        ),
+    )
+    return superstep(states, inboxes)
+
+
+class ShardedEngine(Engine):
+    """Float-mode execution partitioned across ``shards`` worker processes.
+
+    Bit-identical to ``engine="plaintext"`` under the same seed and
+    iteration count, for every shard count — the shard count only decides
+    *where* each vertex update runs, never what it computes.
+    """
+
+    name = "sharded"
+
+    def __init__(self, shards: int = 2) -> None:
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            raise ConfigurationError(
+                f"shards must be a positive int, got {shards!r}"
+            )
+        self.shards = shards
+
+    def execute(self, program, graph, iterations, config, accountant=None):
+        started = time.perf_counter()
+        chunks = partition_vertices(graph.vertex_ids, self.shards)
+        ghost_edges = cross_shard_edges(graph, chunks)
+        oracle = PlaintextEngine(program)
+
+        inline = len(chunks) <= 1 or in_worker_process()
+        if inline:
+            # one shard, or inside a daemonic pool worker (cannot fork):
+            # the partition is immaterial, so delegate to the reference
+            # engine — one float semantics implementation, not two.
+            run = oracle.run_float(graph, iterations)
+        else:
+            run = self._run_pooled(oracle, program, graph, chunks, iterations)
+
+        result = _from_plaintext(self.name, program, run, iterations, started)
+        result.extras.update(
+            {
+                "shards": float(len(chunks)),
+                "requested_shards": float(self.shards),
+                "ghost_edges": float(ghost_edges),
+                "ghost_messages": float(ghost_edges * iterations),
+                "inline": 1.0 if inline else 0.0,
+            }
+        )
+        return result
+
+    def _run_pooled(
+        self,
+        oracle: PlaintextEngine,
+        program: VertexProgram,
+        graph: DistributedGraph,
+        chunks: List[List[int]],
+        iterations: int,
+    ) -> PlaintextRun:
+        degree_bound = graph.degree_bound
+        states = {
+            v.vertex_id: program.initial_state(v, degree_bound)
+            for v in graph.vertices()
+        }
+        inboxes: Dict[int, List[float]] = {
+            v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
+        }
+
+        with create_pool(
+            len(chunks),
+            initializer=_init_shard_worker,
+            initargs=(program, degree_bound),
+        ) as pool:
+
+            def superstep(state_map, inbox_map):
+                payloads = [
+                    (
+                        {vid: state_map[vid] for vid in chunk},
+                        {vid: inbox_map[vid] for vid in chunk},
+                    )
+                    for chunk in chunks
+                ]
+                merged_states: Dict[int, Dict[str, float]] = {}
+                merged_outboxes: Dict[int, List[float]] = {}
+                for shard_states, shard_outboxes in pool.map(_shard_step, payloads):
+                    merged_states.update(shard_states)
+                    merged_outboxes.update(shard_outboxes)
+                return merged_states, merged_outboxes
+
+            states, trajectory = run_rounds(
+                superstep=superstep,
+                route=lambda outboxes: route_messages(graph, outboxes, NO_OP_MESSAGE),
+                observe=oracle._aggregate_float,
+                states=states,
+                inboxes=inboxes,
+                iterations=iterations,
+            )
+
+        return PlaintextRun(
+            aggregate=oracle._aggregate_float(states),
+            final_states=states,
+            trajectory=trajectory,
+        )
+
+
+register_engine("sharded", ShardedEngine, aliases=("shard", "partitioned"))

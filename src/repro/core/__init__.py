@@ -4,6 +4,7 @@ from repro.core.convergence import DEFAULT_TOLERANCE, convergence_index, has_con
 from repro.core.engine import PlaintextEngine, PlaintextRun
 from repro.core.graph import DistributedGraph, VertexView
 from repro.core.program import NO_OP_MESSAGE, ProgramSpec, VertexProgram
+from repro.core.rounds import route_messages, run_rounds, sequential_superstep
 
 __all__ = [
     "DEFAULT_TOLERANCE",
@@ -16,4 +17,7 @@ __all__ = [
     "VertexView",
     "convergence_index",
     "has_converged",
+    "route_messages",
+    "run_rounds",
+    "sequential_superstep",
 ]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 from repro.core.convergence import DEFAULT_TOLERANCE, convergence_index
 from repro.core.graph import DistributedGraph
 from repro.core.program import NO_OP_MESSAGE, VertexProgram
+from repro.core.rounds import route_messages, run_rounds, sequential_superstep
 from repro.exceptions import ConfigurationError
 
 __all__ = ["PlaintextRun", "PlaintextEngine"]
@@ -62,39 +63,26 @@ class PlaintextEngine:
         inboxes: Dict[int, List[float]] = {
             v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
         }
-        trajectory: List[float] = []
 
-        # n computation+communication steps, then one final computation step.
-        for _ in range(iterations):
-            outboxes: Dict[int, List[float]] = {}
-            for vertex_id in graph.vertex_ids:
-                states[vertex_id], outboxes[vertex_id] = program.float_update(
-                    states[vertex_id], inboxes[vertex_id], degree_bound
-                )
-            inboxes = self._route_float(graph, outboxes)
-            trajectory.append(self._aggregate_float(states))
-        for vertex_id in graph.vertex_ids:
-            states[vertex_id], _ = program.float_update(
-                states[vertex_id], inboxes[vertex_id], degree_bound
-            )
-        trajectory.append(self._aggregate_float(states))
+        states, trajectory = run_rounds(
+            superstep=sequential_superstep(
+                graph.vertex_ids,
+                lambda _vid, state, messages: program.float_update(
+                    state, messages, degree_bound
+                ),
+            ),
+            route=lambda outboxes: route_messages(graph, outboxes, NO_OP_MESSAGE),
+            observe=self._aggregate_float,
+            states=states,
+            inboxes=inboxes,
+            iterations=iterations,
+        )
 
         return PlaintextRun(
             aggregate=self._aggregate_float(states),
             final_states=states,
             trajectory=trajectory,
         )
-
-    def _route_float(
-        self, graph: DistributedGraph, outboxes: Dict[int, List[float]]
-    ) -> Dict[int, List[float]]:
-        """Deliver out-slot messages to the matching in-slots (§3.6)."""
-        inboxes = {v: [NO_OP_MESSAGE] * graph.degree_bound for v in graph.vertex_ids}
-        for view in graph.vertices():
-            for out_slot, neighbor in enumerate(view.out_neighbors):
-                in_slot = graph.vertex(neighbor).in_slot(view.vertex_id)
-                inboxes[neighbor][in_slot] = outboxes[view.vertex_id][out_slot]
-        return inboxes
 
     def _aggregate_float(self, states: Dict[int, Dict[str, float]]) -> float:
         register = self.program.aggregate_register
@@ -127,21 +115,20 @@ class PlaintextEngine:
         inboxes: Dict[int, List[int]] = {
             v: [raw_no_op] * degree_bound for v in graph.vertex_ids
         }
-        trajectory: List[float] = []
 
-        for _ in range(iterations):
-            outboxes: Dict[int, List[int]] = {}
-            for vertex_id in graph.vertex_ids:
-                raw_states[vertex_id], outboxes[vertex_id] = program.circuit_update(
-                    raw_states[vertex_id], inboxes[vertex_id], degree_bound, circuit
-                )
-            inboxes = self._route_raw(graph, outboxes, raw_no_op)
-            trajectory.append(self._aggregate_raw(raw_states))
-        for vertex_id in graph.vertex_ids:
-            raw_states[vertex_id], _ = program.circuit_update(
-                raw_states[vertex_id], inboxes[vertex_id], degree_bound, circuit
-            )
-        trajectory.append(self._aggregate_raw(raw_states))
+        raw_states, trajectory = run_rounds(
+            superstep=sequential_superstep(
+                graph.vertex_ids,
+                lambda _vid, state, messages: program.circuit_update(
+                    state, messages, degree_bound, circuit
+                ),
+            ),
+            route=lambda outboxes: route_messages(graph, outboxes, raw_no_op),
+            observe=self._aggregate_raw,
+            states=raw_states,
+            inboxes=inboxes,
+            iterations=iterations,
+        )
 
         return PlaintextRun(
             aggregate=self._aggregate_raw(raw_states),
@@ -151,16 +138,6 @@ class PlaintextEngine:
             },
             trajectory=trajectory,
         )
-
-    def _route_raw(
-        self, graph: DistributedGraph, outboxes: Dict[int, List[int]], raw_no_op: int
-    ) -> Dict[int, List[int]]:
-        inboxes = {v: [raw_no_op] * graph.degree_bound for v in graph.vertex_ids}
-        for view in graph.vertices():
-            for out_slot, neighbor in enumerate(view.out_neighbors):
-                in_slot = graph.vertex(neighbor).in_slot(view.vertex_id)
-                inboxes[neighbor][in_slot] = outboxes[view.vertex_id][out_slot]
-        return inboxes
 
     def _aggregate_raw(self, raw_states: Dict[int, Dict[str, int]]) -> float:
         register = self.program.aggregate_register

@@ -1,0 +1,110 @@
+"""The round scheduler: the §3.6 execution skeleton, engine-independent.
+
+Every DStress execution — float reference, clear circuit evaluation, the
+secure protocol's simulation harness, and the sharded backend — walks the
+same schedule: ``n`` computation+communication rounds (update every
+vertex, route the out-slot messages to the matching in-slots, observe the
+aggregate) followed by one final computation step. This module owns that
+skeleton so backends only supply the three varying pieces:
+
+* ``superstep`` — advance *all* vertices one computation step. The
+  plaintext engines update vertices sequentially
+  (:func:`sequential_superstep`); the sharded engine fans the same work
+  across a process pool and merges at the barrier.
+* ``route`` — deliver outboxes to inboxes. :func:`route_messages`
+  implements the §3.6 slot-to-slot delivery for any payload type (floats
+  or raw fixed-point words).
+* ``observe`` — record the designated aggregate after each round (the
+  convergence trajectory).
+
+Determinism contract: :func:`run_rounds` calls ``superstep`` exactly
+``iterations + 1`` times with identical inputs regardless of who computes
+the superstep, so two backends whose supersteps are pointwise equal
+produce bit-identical trajectories and final states.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple, TypeVar
+
+from repro.core.graph import DistributedGraph
+from repro.exceptions import ConfigurationError
+
+__all__ = ["run_rounds", "route_messages", "sequential_superstep"]
+
+#: Per-vertex state payload (float registers or raw fixed-point registers).
+S = TypeVar("S")
+#: Message payload (float or raw fixed-point word).
+M = TypeVar("M")
+
+#: states, inboxes -> new states, outboxes (all keyed by vertex id).
+Superstep = Callable[[Dict[int, S], Dict[int, List[M]]], Tuple[Dict[int, S], Dict[int, List[M]]]]
+
+
+def run_rounds(
+    superstep: Superstep,
+    route: Callable[[Dict[int, List[M]]], Dict[int, List[M]]],
+    observe: Callable[[Dict[int, S]], float],
+    states: Dict[int, S],
+    inboxes: Dict[int, List[M]],
+    iterations: int,
+) -> Tuple[Dict[int, S], List[float]]:
+    """Drive the §3.6 schedule and return (final states, trajectory).
+
+    ``iterations`` computation+communication rounds, then one final
+    computation step whose outgoing messages are discarded — exactly the
+    shape both plaintext modes always had, now shared by every backend.
+    """
+    if iterations < 0:
+        raise ConfigurationError("iteration count cannot be negative")
+    trajectory: List[float] = []
+    for _ in range(iterations):
+        states, outboxes = superstep(states, inboxes)
+        inboxes = route(outboxes)
+        trajectory.append(observe(states))
+    states, _ = superstep(states, inboxes)
+    trajectory.append(observe(states))
+    return states, trajectory
+
+
+def route_messages(
+    graph: DistributedGraph,
+    outboxes: Dict[int, List[M]],
+    fill: M,
+) -> Dict[int, List[M]]:
+    """Deliver out-slot messages to the matching in-slots (§3.6).
+
+    Unused in-slots hold ``fill`` (the encoded no-op message), so every
+    vertex always receives exactly ``degree_bound`` messages and the
+    communication pattern leaks nothing about the true degree.
+    """
+    inboxes = {v: [fill] * graph.degree_bound for v in graph.vertex_ids}
+    for view in graph.vertices():
+        for out_slot, neighbor in enumerate(view.out_neighbors):
+            in_slot = graph.vertex(neighbor).in_slot(view.vertex_id)
+            inboxes[neighbor][in_slot] = outboxes[view.vertex_id][out_slot]
+    return inboxes
+
+
+def sequential_superstep(
+    vertex_ids: List[int],
+    update: Callable[[int, S, List[M]], Tuple[S, List[M]]],
+) -> Superstep:
+    """A superstep that updates vertices one by one, in id order.
+
+    The id order fixes dict insertion order of the produced state map,
+    which in turn fixes the float summation order of the observers — the
+    property the sharded backend's merge step must (and does) preserve to
+    stay bit-identical.
+    """
+
+    def superstep(states, inboxes):
+        new_states: Dict[int, S] = {}
+        outboxes: Dict[int, List[M]] = {}
+        for vertex_id in vertex_ids:
+            new_states[vertex_id], outboxes[vertex_id] = update(
+                vertex_id, states[vertex_id], inboxes[vertex_id]
+            )
+        return new_states, outboxes
+
+    return superstep

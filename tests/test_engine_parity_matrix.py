@@ -1,0 +1,123 @@
+"""Cross-engine parity matrix: the correctness bar for every backend.
+
+Engines (``plaintext``, ``fixed``, ``sharded`` at 1/2/3 shards) x
+programs (``eisenberg-noe``, ``elliott-golub-jackson``) x graph
+generators (core-periphery, scale-free), all under a fixed seed:
+
+* every float-mode backend (``plaintext``, ``sharded@k``) must produce a
+  **bit-identical** pre-noise trajectory — not approximately equal:
+  float addition is not associative, so bit-identity proves the sharded
+  barrier merge preserves the reference evaluation order;
+* the ``fixed`` backend must be bit-reproducible run-to-run and stay
+  within quantization distance of the float oracle.
+
+Any future backend (async, remote) earns its registry entry by joining
+this matrix.
+"""
+
+import pytest
+
+from repro import StressTest
+from repro.crypto.rng import DeterministicRNG
+from repro.finance import apply_shock, uniform_shock
+from repro.graphgen import (
+    CorePeripheryParams,
+    ScaleFreeParams,
+    core_periphery_network,
+    scale_free_network,
+)
+
+SEED = 123
+ITERATIONS = 4
+#: generous bound on |float - fixed| per trajectory point: quantization in
+#: fmt(16, 8) accumulates ~0.1 on these 10-bank networks (measured).
+QUANTIZATION_TOLERANCE = 0.5
+
+PROGRAMS = ("eisenberg-noe", "elliott-golub-jackson")
+FLOAT_ENGINES = (
+    ("plaintext", {}),
+    ("sharded", {"shards": 1}),
+    ("sharded", {"shards": 2}),
+    ("sharded", {"shards": 3}),
+)
+
+
+def _core_periphery():
+    net = core_periphery_network(
+        CorePeripheryParams(num_banks=10, core_size=3), DeterministicRNG(11)
+    )
+    return apply_shock(net, uniform_shock(range(0, 3), 0.9, "core-shock"))
+
+
+def _scale_free():
+    net = scale_free_network(
+        ScaleFreeParams(num_banks=10, attach_links=2, degree_cap=4),
+        DeterministicRNG(12),
+    )
+    return apply_shock(net, uniform_shock(range(0, 3), 0.9, "hub-shock"))
+
+
+GRAPHS = {"core-periphery": _core_periphery, "scale-free": _scale_free}
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {name: build() for name, build in GRAPHS.items()}
+
+
+@pytest.fixture(scope="module")
+def float_references(networks):
+    """Per (program, graph) cell: the plaintext trajectory all float-mode
+    engines must reproduce bit-for-bit."""
+    references = {}
+    for program in PROGRAMS:
+        for graph_name, network in networks.items():
+            run = (
+                StressTest(network)
+                .program(program)
+                .engine("plaintext")
+                .seed(SEED)
+                .run(iterations=ITERATIONS)
+            )
+            assert run.trajectory[-1] != 0.0, "shock produced no dynamics"
+            references[(program, graph_name)] = run
+    return references
+
+
+@pytest.mark.parametrize("engine_name,options", FLOAT_ENGINES)
+@pytest.mark.parametrize("program", PROGRAMS)
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_float_family_trajectories_bit_identical(
+    networks, float_references, engine_name, options, program, graph_name
+):
+    reference = float_references[(program, graph_name)]
+    result = (
+        StressTest(networks[graph_name])
+        .program(program)
+        .engine(engine_name, **options)
+        .seed(SEED)
+        .run(iterations=ITERATIONS)
+    )
+    assert result.trajectory == reference.trajectory
+    assert result.aggregate == reference.aggregate
+    assert result.final_states == reference.final_states
+
+
+@pytest.mark.parametrize("program", PROGRAMS)
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_fixed_engine_reproducible_and_near_float(
+    networks, float_references, program, graph_name
+):
+    template = (
+        StressTest(networks[graph_name]).program(program).engine("fixed").seed(SEED)
+    )
+    first = template.clone().run(iterations=ITERATIONS)
+    second = template.clone().run(iterations=ITERATIONS)
+    # bit-reproducible under the fixed seed
+    assert first.trajectory == second.trajectory
+    assert first.aggregate == second.aggregate
+    # within quantization distance of the float oracle, pointwise
+    reference = float_references[(program, graph_name)]
+    assert len(first.trajectory) == len(reference.trajectory)
+    for fixed_point, float_point in zip(first.trajectory, reference.trajectory):
+        assert abs(fixed_point - float_point) <= QUANTIZATION_TOLERANCE

@@ -1,0 +1,138 @@
+"""Property-based tests for the fixed-point layer (hypothesis).
+
+The MPC circuits trust :class:`FixedPointFormat` as their bit-exact
+plaintext mirror, so its algebra gets property coverage rather than a few
+hand-picked points: encode/decode round-trips within half an LSB,
+clamping at the range edges, exact addition homomorphism inside the
+representable range, and multiplication within the declared truncation
+bound of one LSB. Runs under any installed hypothesis; environments
+without it skip this module (the example-based tests in
+``test_mpc_fixedpoint.py`` still run).
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mpc.fixedpoint import FixedPointFormat
+
+#: Representative formats: the default, the paper's narrow 12-bit regime,
+#: a wide one, and a tiny one that stresses the range edges.
+FORMATS = (
+    FixedPointFormat(16, 8),
+    FixedPointFormat(12, 6),
+    FixedPointFormat(24, 12),
+    FixedPointFormat(6, 2),
+)
+
+formats = st.sampled_from(FORMATS)
+
+
+def raws(fmt: FixedPointFormat) -> st.SearchStrategy:
+    return st.integers(min_value=fmt.min_raw, max_value=fmt.max_raw)
+
+
+def reals(fmt: FixedPointFormat) -> st.SearchStrategy:
+    return st.floats(
+        min_value=fmt.min_value,
+        max_value=fmt.max_value,
+        allow_nan=False,
+        allow_infinity=False,
+    )
+
+
+# ----------------------------------------------------------- encode/decode --
+
+
+@settings(max_examples=200, deadline=None)
+@given(fmt=formats, data=st.data())
+def test_encode_decode_round_trip_within_half_lsb(fmt, data):
+    value = data.draw(reals(fmt))
+    raw = fmt.encode(value)
+    assert fmt.min_raw <= raw <= fmt.max_raw
+    assert abs(fmt.decode(raw) - value) <= fmt.resolution / 2 + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(fmt=formats, data=st.data())
+def test_decode_encode_is_identity_on_the_raw_grid(fmt, data):
+    raw = data.draw(raws(fmt))
+    assert fmt.encode(fmt.decode(raw)) == raw
+
+
+@settings(max_examples=200, deadline=None)
+@given(fmt=formats, data=st.data())
+def test_out_of_range_values_clamp_to_the_edges(fmt, data):
+    overshoot = data.draw(st.floats(min_value=fmt.resolution, max_value=1e6))
+    assert fmt.encode(fmt.max_value + overshoot) == fmt.max_raw
+    assert fmt.encode(fmt.min_value - overshoot) == fmt.min_raw
+
+
+@settings(max_examples=200, deadline=None)
+@given(fmt=formats, data=st.data())
+def test_twos_complement_round_trip(fmt, data):
+    raw = data.draw(raws(fmt))
+    pattern = fmt.to_unsigned(raw)
+    assert 0 <= pattern < (1 << fmt.total_bits)
+    assert fmt.from_unsigned(pattern) == raw
+    assert fmt.wrap(raw) == raw  # in-range values wrap to themselves
+
+
+# ------------------------------------------------------------- homomorphism --
+
+
+@settings(max_examples=200, deadline=None)
+@given(fmt=formats, data=st.data())
+def test_addition_homomorphism_inside_the_range(fmt, data):
+    a = data.draw(raws(fmt))
+    b = data.draw(raws(fmt))
+    total = a + b
+    if fmt.min_raw <= total <= fmt.max_raw:
+        # raw addition is exact: decode distributes over it
+        assert fmt.wrap(total) == total
+        assert fmt.decode(total) == fmt.decode(a) + fmt.decode(b)
+    else:
+        # outside the range the hardware wraps modulo 2**L, by definition
+        assert fmt.wrap(total) == fmt.from_unsigned(fmt.to_unsigned(total))
+
+
+@settings(max_examples=300, deadline=None)
+@given(fmt=formats, data=st.data())
+def test_multiplication_homomorphism_within_one_lsb(fmt, data):
+    a = data.draw(raws(fmt))
+    b = data.draw(raws(fmt))
+    exact_raw_product = (a * b) >> fmt.fraction_bits  # floor, like the circuit
+    if not (fmt.min_raw <= exact_raw_product <= fmt.max_raw):
+        return  # overflow wraps; the product is out of contract
+    product = fmt.fx_mul(a, b)
+    real_product = fmt.decode(a) * fmt.decode(b)
+    # truncation floors: at most one LSB below the real product, never above
+    assert product == exact_raw_product
+    error = fmt.decode(product) - real_product
+    assert -fmt.resolution < error <= 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(fmt=formats, data=st.data())
+def test_multiplicative_identity_and_zero(fmt, data):
+    a = data.draw(raws(fmt))
+    one = fmt.encode(1.0)
+    if fmt.fraction_bits > 0 and one == fmt.max_raw:
+        return  # 1.0 saturates in this format; identity is out of range
+    assert fmt.fx_mul(a, one) == a
+    assert fmt.fx_mul(a, 0) == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(fmt=formats, data=st.data())
+def test_division_inverts_multiplication_within_precision(fmt, data):
+    a = data.draw(raws(fmt))
+    b = data.draw(raws(fmt).filter(lambda raw: raw != 0))
+    quotient = fmt.fx_div(a, b)
+    rebuilt = (abs(quotient) * abs(b)) >> fmt.fraction_bits
+    if not (0 <= (abs(a) << fmt.fraction_bits) // abs(b) <= fmt.max_raw):
+        return  # quotient overflowed and wrapped; out of contract
+    # |q * b| recovers |a| to within one quotient LSB worth of b
+    assert abs(rebuilt - abs(a)) <= (abs(b) >> fmt.fraction_bits) + 1
