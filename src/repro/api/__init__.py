@@ -8,12 +8,14 @@ across a process pool while one :class:`~repro.privacy.budget.PrivacyAccountant`
 guards the yearly budget.
 
 Importing this package registers the built-in engines (``plaintext``,
-``fixed``, ``secure``, ``naive-mpc``, ``sharded``) and programs
+``fixed``, ``secure``, ``naive-mpc``, ``sharded``, ``async``) and programs
 (``eisenberg-noe``, ``elliott-golub-jackson``). See DESIGN.md for the
 architecture and README.md for the old-call → new-call migration table.
 """
 
+from repro.api.async_engine import AsyncEngine
 from repro.api.batch import BatchResult, Scenario, ScenarioOutcome, run_batch
+from repro.api.cache import ScenarioCache, run_fingerprint
 from repro.api.engines import (
     Engine,
     NaiveMPCEngine,
@@ -35,6 +37,7 @@ from repro.api.result import RunResult
 from repro.api.session import ResolvedRun, StressTest
 
 __all__ = [
+    "AsyncEngine",
     "BatchResult",
     "Engine",
     "NaiveMPCEngine",
@@ -44,6 +47,7 @@ __all__ = [
     "ResolvedRun",
     "RunResult",
     "Scenario",
+    "ScenarioCache",
     "ScenarioOutcome",
     "SecureDStressEngine",
     "ShardedEngine",
@@ -55,4 +59,5 @@ __all__ = [
     "register_engine",
     "register_program",
     "run_batch",
+    "run_fingerprint",
 ]

@@ -1,0 +1,158 @@
+"""The async engine: per-vertex asyncio pipelines over a transport bus.
+
+The real DStress deployment is message-passing over a WAN where rounds
+are dominated by transfer I/O, not local compute (§6). Every previous
+backend executed rounds synchronously — route, barrier, repeat — so
+nothing could overlap communication with computation. This backend runs
+each vertex as an asyncio task over a :class:`~repro.core.transport.Transport`:
+a vertex computes its next round as soon as *its own* inbox completes,
+while slow links' deliveries are still in flight elsewhere. The schedule
+itself lives in :func:`repro.core.rounds.run_rounds_async`, shared with
+the sequential :func:`~repro.core.rounds.run_rounds` skeleton.
+
+Engine options (all reachable through the registry and batch scenarios)::
+
+    StressTest(net).program("en").engine("async", tasks=8).run()
+    .engine("async", transport="wan")          # metered simulated WAN
+    .engine("async", transport=my_transport)   # any Transport instance
+    .engine("async", overlap=False)            # sequential-over-the-bus
+                                               # baseline (benchmark foil)
+
+Under the default :class:`~repro.core.transport.InMemoryTransport` the
+result is bit-identical to ``engine="plaintext"`` at every ``tasks``
+level — asserted by the cross-engine parity matrix. Under
+:class:`~repro.core.transport.SimulatedWanTransport` the payloads are
+unchanged (still bit-identical) but wall-clock reflects the link
+schedule and ``result.traffic`` carries the per-node byte meters.
+
+Unlike the sharded engine there is no per-round state pickling: all
+vertex tasks share the parent process, so the fan-out cost the sharded
+benchmark quantifies is amortized to zero — ``benchmarks/bench_async.py``
+puts numbers on both effects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Union
+
+from repro.api.engines import Engine, _from_plaintext, validate_intra_run_width
+from repro.api.registry import register_engine
+from repro.core.engine import PlaintextEngine, PlaintextRun
+from repro.core.program import NO_OP_MESSAGE
+from repro.core.rounds import run_rounds_async
+from repro.core.transport import (
+    Transport,
+    attach_wan_extras,
+    check_transport_spec,
+    transport_from_spec,
+    wan_meter_snapshot,
+)
+from repro.simulation.netsim import TrafficMeter
+
+__all__ = ["AsyncEngine"]
+
+
+def _run_coroutine(coro):
+    """Drive ``coro`` to completion from synchronous code, loop or no loop.
+
+    ``asyncio.run`` refuses to nest inside a running event loop, which is
+    exactly where notebook kernels (Jupyter/ipykernel) execute user code.
+    In that case the schedule runs on a private loop in a worker thread —
+    the engine's ``execute`` stays synchronous either way, and the
+    computation is deterministic regardless of which thread hosts it.
+    """
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return asyncio.run(coro)
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        return pool.submit(asyncio.run, coro).result()
+
+
+class AsyncEngine(Engine):
+    """Float-mode execution as overlapped per-vertex asyncio pipelines.
+
+    ``tasks`` bounds how many vertex computations interleave (the message
+    waits always stay concurrent — that is the point); ``transport`` picks
+    the bus (``"memory"``, ``"wan"``, or a
+    :class:`~repro.core.transport.Transport` instance); ``overlap=False``
+    runs the same bus strictly sequentially, the baseline
+    ``benchmarks/bench_async.py`` measures the overlap against.
+    """
+
+    name = "async"
+
+    def __init__(
+        self,
+        tasks: int = 4,
+        transport: Union[str, Transport] = "memory",
+        overlap: bool = True,
+    ) -> None:
+        self.tasks = validate_intra_run_width(tasks, self.name)
+        self.transport = check_transport_spec(transport)
+        self.overlap = bool(overlap)
+
+    @property
+    def intra_run_width(self) -> int:
+        """What the batch planner should budget for: the task concurrency
+        when overlapping, 1 for the strictly sequential schedule — the
+        same effective concurrency the result extras report."""
+        return self.tasks if self.overlap else 1
+
+    def execute(self, program, graph, iterations, config, accountant=None):
+        started = time.perf_counter()
+        meter = TrafficMeter()
+        bus = transport_from_spec(self.transport, config, meter=meter)
+        # A caller-supplied Transport instance may be reused across runs;
+        # snapshot its counters so the extras below report *this* run.
+        before = wan_meter_snapshot(bus)
+
+        oracle = PlaintextEngine(program)
+        degree_bound = graph.degree_bound
+        states = {
+            v.vertex_id: program.initial_state(v, degree_bound)
+            for v in graph.vertices()
+        }
+        inboxes = {v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids}
+
+        final_states, trajectory = _run_coroutine(
+            run_rounds_async(
+                graph=graph,
+                update=lambda _vid, state, messages: program.float_update(
+                    state, messages, degree_bound
+                ),
+                observe=oracle._aggregate_float,
+                states=states,
+                inboxes=inboxes,
+                iterations=iterations,
+                transport=bus,
+                fill=NO_OP_MESSAGE,
+                max_tasks=self.tasks,
+                overlap=self.overlap,
+            )
+        )
+
+        run = PlaintextRun(
+            aggregate=oracle._aggregate_float(final_states),
+            final_states=final_states,
+            trajectory=trajectory,
+        )
+        result = _from_plaintext(self.name, program, run, iterations, started)
+        result.extras.update(
+            {
+                # effective concurrency: the sequential schedule runs one
+                # pipeline regardless of the constructor's tasks value,
+                # and the extras must report what actually happened
+                "tasks": float(self.tasks if self.overlap else 1),
+                "overlap": 1.0 if self.overlap else 0.0,
+                "messages_sent": float(graph.num_edges * iterations),
+            }
+        )
+        attach_wan_extras(result, bus, before)
+        return result
+
+
+register_engine("async", AsyncEngine, aliases=("asyncio", "overlapped"))

@@ -1,0 +1,228 @@
+"""Scenario-level result caching for the batch layer.
+
+A regulator's scenario sweeps repeat themselves: the same quarter's
+network under the same config and seed shows up in sweep after sweep
+(baselines, ablations where only *other* scenarios change, re-runs after
+a failed batch). Since every engine draws all randomness from
+:class:`~repro.crypto.rng.DeterministicRNG` seeded by the config, an
+identical ``(network, config, program, engine + options, seed,
+iterations)`` tuple is guaranteed to reproduce the identical
+:class:`~repro.api.result.RunResult` — so recomputing it is pure waste,
+and *re-charging* the :class:`~repro.privacy.budget.PrivacyAccountant`
+for it is worse than waste: re-publishing a value already released costs
+no fresh privacy budget.
+
+:func:`run_fingerprint` derives a stable digest of a resolved run from
+exactly those inputs; :class:`ScenarioCache` maps digests to results.
+The fingerprint is built only from values with *stable, content-based*
+tokens (scalars, dataclasses, the graph's full structure and data, an
+engine's scalar options). Anything unrecognized — say an engine carrying
+a live :class:`~repro.core.transport.Transport` instance — makes the run
+unfingerprintable and therefore *uncacheable*, never wrongly shared: a
+cache must only ever err toward a miss.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+from typing import Any, Dict, Optional
+
+from repro.api.result import RunResult
+from repro.api.session import ResolvedRun
+from repro.core.graph import DistributedGraph
+from repro.crypto.group import CyclicGroup
+
+__all__ = ["ScenarioCache", "run_fingerprint", "clone_result"]
+
+
+def clone_result(result: RunResult) -> Optional[RunResult]:
+    """An independent deep copy of a result, or ``None`` if uncopyable.
+
+    Cached and duplicated outcomes must never alias a result another
+    consumer can mutate — a cache entry whose trajectory someone edits in
+    place would silently poison every later hit. All built-in results
+    deep-copy cleanly; an exotic ``raw`` payload that refuses is treated
+    as uncopyable and the caller falls back to recomputing.
+    """
+    try:
+        return copy.deepcopy(result)
+    except Exception:
+        return None
+
+
+class _Unfingerprintable(Exception):
+    """Internal: a value has no stable content token; the run is uncacheable."""
+
+
+def _token(value: Any) -> Any:
+    """A stable, content-based token for ``value`` (or raise).
+
+    Scalars tokenize as themselves; containers recurse; dataclasses
+    recurse over their fields; a :class:`CyclicGroup` is identified by its
+    name and order (the singletons carry no other run-relevant state).
+    Unknown object types raise — identity-based ``repr`` strings are not
+    stable across processes and must never silently key a cache hit.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return (type(value).__name__, value)
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_token(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(_token(item) for item in value)))
+    if isinstance(value, dict):
+        return (
+            "map",
+            tuple(sorted((_token(k), _token(v)) for k, v in value.items())),
+        )
+    if isinstance(value, CyclicGroup):
+        return ("group", value.name, value.order)
+    if isinstance(value, DistributedGraph):
+        return (
+            "graph",
+            value.degree_bound,
+            tuple(
+                (
+                    view.vertex_id,
+                    _token(view.data),
+                    tuple(view.out_neighbors),
+                    tuple(view.in_neighbors),
+                )
+                for view in value.vertices()
+            ),
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            "dc:" + type(value).__name__,
+            tuple(
+                (f.name, _token(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    raise _Unfingerprintable(type(value).__name__)
+
+
+def run_fingerprint(
+    resolved: ResolvedRun,
+    _graph_tokens: Optional[Dict[int, Any]] = None,
+) -> Optional[str]:
+    """Content digest of everything that determines a run's result.
+
+    Covers the network fingerprint (the materialized graph, structure and
+    per-vertex data), the full config (which includes the seed), the
+    program identity and fixed-point format, the engine identity (class,
+    registry name, and every constructor option — the class matters: two
+    engine classes sharing a registry name must never share results), and
+    the iteration spec (including the auto-mode tolerance/cap, which
+    decide the resolved count). The scenario *label* is deliberately
+    excluded — renaming a scenario must not defeat the cache. Returns
+    ``None`` when any component lacks a stable token; such runs always
+    execute.
+
+    ``_graph_tokens`` is a per-call-site memo (``id(graph) -> digest``)
+    for batches whose scenarios share graph objects: the graph is the
+    O(V+E) part of the fingerprint, so it is collapsed to a fixed-size
+    digest — built (and memoized) once per distinct graph object — before
+    entering the outer token, and a 100-scenario sweep over one network
+    pays the graph walk, serialization, and hash once, not 100 times.
+    Only pass a memo whose lifetime is bounded by the graphs' (ids are
+    reusable after GC).
+    """
+    engine = resolved.engine
+    program = resolved.program
+    try:
+        graph_key = id(resolved.graph)
+        if _graph_tokens is not None and graph_key in _graph_tokens:
+            graph_digest = _graph_tokens[graph_key]
+        else:
+            graph_digest = hashlib.sha256(
+                repr(_token(resolved.graph)).encode("utf-8")
+            ).hexdigest()
+            if _graph_tokens is not None:
+                _graph_tokens[graph_key] = graph_digest
+        # sub-tokens are already stable tuples; assembling them directly
+        # (no outer _token pass) avoids re-walking every nested tuple
+        token = (
+            ("graph", graph_digest),
+            ("config", _token(resolved.config)),
+            (
+                "program",
+                type(program).__module__ + "." + type(program).__qualname__,
+                program.name,
+                _token(vars(program)),
+            ),
+            (
+                "engine",
+                type(engine).__module__ + "." + type(engine).__qualname__,
+                engine.name,
+                _token(vars(engine)),
+            ),
+            (
+                "iterations",
+                resolved.iterations,
+                resolved.tolerance,
+                resolved.max_iterations,
+            ),
+        )
+    except _Unfingerprintable:
+        return None
+    return hashlib.sha256(repr(token).encode("utf-8")).hexdigest()
+
+
+class ScenarioCache:
+    """An in-memory fingerprint → :class:`RunResult` store.
+
+    Pass an instance to :func:`repro.api.batch.run_batch` (or
+    ``StressTest.run_many(..., cache=...)``) to reuse results across
+    batches; ``cache=True`` builds a private per-call instance, which
+    still deduplicates identical scenarios *within* one batch. Hits and
+    misses are counted on the instance and surfaced per batch on
+    :class:`~repro.api.batch.BatchResult`.
+
+    Only successful results are stored — a failed scenario always re-runs.
+    Entries are isolated by deep copy on both store and lookup, so no
+    consumer ever holds a reference into the cache: mutating a hit's
+    result cannot poison later hits, and mutating the original result
+    after the batch cannot poison the stored golden copy.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[str, RunResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def lookup(self, fingerprint: Optional[str]) -> Optional[RunResult]:
+        """A private copy of the cached result, counting the hit/miss.
+
+        ``None`` fingerprints (uncacheable runs) always miss.
+        """
+        if fingerprint is not None:
+            result = self._store.get(fingerprint)
+            if result is not None:
+                clone = clone_result(result)
+                if clone is not None:
+                    self.hits += 1
+                    return clone
+                del self._store[fingerprint]  # uncopyable entry: evict
+        self.misses += 1
+        return None
+
+    def store(self, fingerprint: Optional[str], result: RunResult) -> None:
+        """Remember a successful result (no-op for uncacheable runs or
+        results that cannot be copied for isolation)."""
+        if fingerprint is not None:
+            clone = clone_result(result)
+            if clone is not None:
+                self._store[fingerprint] = clone
+
+    def note_hit(self) -> None:
+        """Count a reuse that bypassed :meth:`lookup` (an in-batch
+        duplicate satisfied from a scenario still executing)."""
+        self.hits += 1
+
+    def clear(self) -> None:
+        self._store.clear()

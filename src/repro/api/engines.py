@@ -12,11 +12,14 @@ previously-disjoint entry points:
                function centrally, projects the monolithic GMW cost)
 ``sharded``    float mode partitioned across worker processes within one
                run (:class:`~repro.api.sharded.ShardedEngine`)
+``async``      float mode as per-vertex asyncio pipelines over a
+               transport bus, overlapping computation with deliveries
+               (:class:`~repro.api.async_engine.AsyncEngine`)
 =============  ==========================================================
 
 All built-ins compute the *same function* pre-noise on the same graph
 (the engine-parity tests assert it), so sweeps can trade fidelity for
-speed by swapping one string. New backends (async, remote) implement
+speed by swapping one string. New backends (remote, ...) implement
 :class:`Engine` and call :func:`~repro.api.registry.register_engine`.
 """
 
@@ -34,6 +37,7 @@ from repro.core.graph import DistributedGraph
 from repro.core.program import VertexProgram
 from repro.core.secure_engine import SecureEngine
 from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import ConfigurationError
 from repro.privacy.budget import PrivacyAccountant
 from repro.privacy.mechanisms import two_sided_geometric_sample
 from repro.simulation.naive_baseline import estimate_monolithic_seconds
@@ -44,7 +48,22 @@ __all__ = [
     "PlaintextFixedEngine",
     "SecureDStressEngine",
     "NaiveMPCEngine",
+    "validate_intra_run_width",
 ]
+
+
+def validate_intra_run_width(width, owner: str) -> int:
+    """The one rule for what counts as a valid intra-run width.
+
+    Shared by :attr:`Engine.intra_run_width` and the batch planner so the
+    two layers can never drift on the rule or the error text.
+    """
+    if isinstance(width, bool) or not isinstance(width, int) or width < 1:
+        raise ConfigurationError(
+            f"engine {owner!r} declared an invalid shard width / task "
+            f"concurrency {width!r}; intra-run width must be a positive int"
+        )
+    return width
 
 
 class Engine(ABC):
@@ -67,6 +86,30 @@ class Engine(ABC):
         accountant: Optional[PrivacyAccountant] = None,
     ) -> RunResult:
         """Run ``program`` for ``iterations`` rounds and normalize the result."""
+
+    @property
+    def intra_run_width(self) -> int:
+        """Widest parallelism one run of this engine deploys internally.
+
+        The batch layer multiplies this into its worker planning so
+        ``workers x width`` never oversubscribes the CPU budget. The
+        default recognizes the two conventional declarations — process
+        ``shards`` (sharded) and asyncio ``tasks`` (async) — and raises
+        on an invalid declared value, so every caller (not just the
+        batch planner) gets a loud per-engine error rather than a
+        nonsensical width. Engines whose ``shards``/``tasks`` attributes
+        mean something else should override this property.
+        """
+        declared = []
+        for attr in ("shards", "tasks"):
+            value = getattr(self, attr, None)
+            if value is None:
+                continue
+            # any declared value is validated — a non-int declaration
+            # (tasks="16") silently meaning width 1 would hide the
+            # misdeclaration and defeat the oversubscription cap
+            declared.append(validate_intra_run_width(value, self.name))
+        return max(declared) if declared else 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} name={self.name!r}>"

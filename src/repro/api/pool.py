@@ -11,10 +11,12 @@ here so their interaction is governed in one place:
   that situation; the sharded engine then computes its shards inline
   (sequentially in the worker — same partition, same arithmetic, so the
   result is bit-identical).
-* **No oversubscription.** When a batch contains sharded scenarios, the
-  useful parallelism is ``workers x shards``; :func:`plan_workers` caps
-  the scenario-level worker count so that product stays within the CPU
-  budget instead of stacking two pools' worth of processes.
+* **No oversubscription.** When a batch contains scenarios with intra-run
+  parallelism — process shards (``sharded``) or asyncio task concurrency
+  (``async``) — the useful parallelism is ``workers x width``;
+  :func:`plan_workers` caps the scenario-level worker count so that
+  product stays within the CPU budget instead of stacking two layers'
+  worth of concurrency.
 * **One fork policy.** Everything uses the fork start method: payloads
   stay picklable-small, and engines inherit read-only program/graph state
   instead of re-importing it.
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from functools import partial
 from multiprocessing import get_context
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -35,6 +38,7 @@ __all__ = [
     "plan_workers",
     "create_pool",
     "map_in_pool",
+    "iter_in_pool",
 ]
 
 
@@ -52,17 +56,22 @@ def plan_workers(requested: int, num_tasks: int, shard_width: int = 1) -> int:
     """Effective worker count for a task-level pool.
 
     ``requested`` is bounded by the number of tasks (idle workers are
-    pointless). ``shard_width > 1`` signals that the tasks would *like*
-    to fork shard pools of that width; since shard pools inside a pool
-    worker always degrade to inline execution (daemonic workers cannot
-    fork), each worker is one process either way — so the only cap worth
-    paying for is the CPU budget: never stack more sharded-scenario
-    workers than CPUs, and let a serial batch (``effective == 1``) keep
-    the parent's full shard pool. Live processes therefore never exceed
-    ``max(cpu_budget, shard_width)``. ``shard_width == 1`` keeps the
-    historical batch behavior: the caller's worker count is honored even
-    beyond the CPU count (scenario workers are frequently I/O-idle in
-    simulation).
+    pointless). ``shard_width`` is the widest intra-run parallelism any
+    task would *like* to deploy — process shards for the sharded engine,
+    or asyncio task concurrency for the async engine. (An event loop is
+    single-threaded, so the task-width cap is deliberately conservative:
+    it bounds the *declared* concurrency budget of the batch rather than
+    measured CPU pressure, keeping wide-async and wide-sharded batches
+    under one planning rule.) Shard
+    pools inside a pool worker always degrade to inline execution
+    (daemonic workers cannot fork), so each worker is one process either
+    way — the only cap worth paying for is the CPU budget: never stack
+    more wide-scenario workers than CPUs, and let a serial batch
+    (``effective == 1``) keep the parent's full intra-run width. Live
+    processes therefore never exceed ``max(cpu_budget, shard_width)``.
+    ``shard_width == 1`` keeps the historical batch behavior: the
+    caller's worker count is honored even beyond the CPU count (scenario
+    workers are frequently I/O-idle in simulation).
     """
     if requested < 1:
         raise ConfigurationError("workers must be at least 1")
@@ -107,3 +116,59 @@ def map_in_pool(
         return [fn(item) for item in items]
     with create_pool(min(workers, len(items))) as pool:
         return pool.map(fn, items)
+
+
+def _indexed_apply(fn: Callable[[Any], Any], pair: Tuple[int, Any]) -> Tuple[int, Any]:
+    """Worker shim for :func:`iter_in_pool`: tag each result with its
+    input index so streaming consumers can reassociate out-of-order
+    completions. Module-level so it pickles."""
+    index, item = pair
+    return index, fn(item)
+
+
+def iter_in_pool(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: int,
+):
+    """Yield ``(input_index, fn(payload))`` pairs as workers finish.
+
+    The streaming sibling of :func:`map_in_pool`: no barrier — each
+    result is yielded the moment its worker completes, in *completion*
+    order, tagged with the payload's input index. ``workers == 1`` (or a
+    single payload) runs inline, yielding in input order.
+
+    Unlike a plain generator function, the pool is created and its tasks
+    dispatched *at call time*, so workers compute while the caller does
+    other things (e.g. streams cache hits) before draining the returned
+    iterator. The pool is torn down when the iterator is exhausted or
+    closed.
+    """
+    items = list(payloads)
+    if workers == 1 or len(items) <= 1:
+
+        def _inline():
+            for index, item in enumerate(items):
+                yield index, fn(item)
+
+        return _inline()
+
+    pool = create_pool(min(workers, len(items)))
+    # imap_unordered dispatches eagerly: workers start on the payloads now
+    results = pool.imap_unordered(partial(_indexed_apply, fn), list(enumerate(items)))
+
+    def _drain():
+        try:
+            yield None  # priming point (consumed below): arms the finally
+            yield from results
+        finally:
+            pool.terminate()
+            pool.join()
+
+    # enter the generator before handing it out: close() on an unstarted
+    # generator skips its body — and with it the finally that owns the
+    # pool teardown — so an abandonment before the first result would
+    # leave teardown to GC finalizers instead of happening right away
+    drain = _drain()
+    next(drain)
+    return drain

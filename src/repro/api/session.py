@@ -133,11 +133,13 @@ class StressTest:
 
     def engine(self, engine: Union[str, Engine], **options: Any) -> "StressTest":
         """Choose the backend — ``"plaintext"``, ``"fixed"``, ``"secure"``,
-        ``"naive-mpc"``, ``"sharded"``, or any :class:`Engine` instance.
+        ``"naive-mpc"``, ``"sharded"``, ``"async"``, or any
+        :class:`Engine` instance.
 
         Keyword ``options`` configure a registry backend at construction
-        time (``.engine("sharded", shards=4)``); they replace any options
-        from an earlier ``.engine(...)`` call.
+        time (``.engine("sharded", shards=4)``,
+        ``.engine("async", tasks=8, transport="wan")``); they replace any
+        options from an earlier ``.engine(...)`` call.
         """
         if not isinstance(engine, (str, Engine)):
             raise ConfigurationError(
@@ -322,9 +324,11 @@ class StressTest:
         )
         return execute_resolved(resolved, accountant=self._accountant)
 
-    def run_many(self, scenarios, workers: int = 1, accountant=None):
+    def run_many(self, scenarios, workers: int = 1, accountant=None, cache=None):
         """Fan a batch of scenarios across a process pool; see
-        :meth:`repro.api.batch.run_batch` for semantics."""
+        :func:`repro.api.batch.run_batch` for semantics. ``cache`` (a
+        :class:`~repro.api.cache.ScenarioCache` or ``True``) reuses
+        results of scenarios identical to previously-executed ones."""
         from repro.api.batch import run_batch
 
         return run_batch(
@@ -332,6 +336,31 @@ class StressTest:
             scenarios,
             workers=workers,
             accountant=accountant if accountant is not None else self._accountant,
+            cache=cache,
+        )
+
+    def run_many_iter(self, scenarios, workers: int = 1, accountant=None, cache=None):
+        """The streaming sibling of :meth:`run_many`: an iterator yielding
+        each :class:`~repro.api.batch.ScenarioOutcome` the moment its
+        worker finishes (completion order, no pool barrier).
+
+        Resolution, worker planning, and budget charging are still eager
+        — a bad scenario or an unaffordable batch raises here, before the
+        first outcome is consumed. Abandoning the stream early (``break``
+        / ``close()``) refunds the accountant for the pre-charged
+        releasing scenarios that never completed. The per-scenario
+        results are bit-identical to :meth:`run_many`'s; only the arrival
+        order (and the absence of a barrier) differs.
+        """
+        from repro.api.batch import run_batch
+
+        return run_batch(
+            self,
+            scenarios,
+            workers=workers,
+            accountant=accountant if accountant is not None else self._accountant,
+            stream=True,
+            cache=cache,
         )
 
 

@@ -35,13 +35,19 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Tuple
 
-from repro.api.engines import Engine, _from_plaintext
+from repro.api.engines import Engine, _from_plaintext, validate_intra_run_width
 from repro.api.pool import create_pool, in_worker_process
 from repro.api.registry import register_engine
 from repro.core.engine import PlaintextEngine, PlaintextRun
 from repro.core.graph import DistributedGraph
 from repro.core.program import NO_OP_MESSAGE, VertexProgram
 from repro.core.rounds import route_messages, run_rounds, sequential_superstep
+from repro.core.transport import (
+    attach_wan_extras,
+    check_transport_spec,
+    transport_from_spec,
+    wan_meter_snapshot,
+)
 from repro.exceptions import ConfigurationError
 
 __all__ = ["ShardedEngine", "partition_vertices", "cross_shard_edges"]
@@ -116,18 +122,23 @@ class ShardedEngine(Engine):
 
     name = "sharded"
 
-    def __init__(self, shards: int = 2) -> None:
-        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
-            raise ConfigurationError(
-                f"shards must be a positive int, got {shards!r}"
-            )
-        self.shards = shards
+    def __init__(self, shards: int = 2, transport=None) -> None:
+        self.shards = validate_intra_run_width(shards, self.name)
+        #: Bus the round-barrier ghost exchange is routed (and metered)
+        #: over; ``None`` keeps the shared zero-delay in-memory bus.
+        self.transport = check_transport_spec(transport, optional=True)
 
     def execute(self, program, graph, iterations, config, accountant=None):
         started = time.perf_counter()
         chunks = partition_vertices(graph.vertex_ids, self.shards)
         ghost_edges = cross_shard_edges(graph, chunks)
-        oracle = PlaintextEngine(program)
+        bus = (
+            transport_from_spec(self.transport, config)
+            if self.transport is not None
+            else None
+        )
+        before = wan_meter_snapshot(bus)
+        oracle = PlaintextEngine(program, transport=bus)
 
         inline = len(chunks) <= 1 or in_worker_process()
         if inline:
@@ -148,6 +159,7 @@ class ShardedEngine(Engine):
                 "inline": 1.0 if inline else 0.0,
             }
         )
+        attach_wan_extras(result, bus, before)
         return result
 
     def _run_pooled(
@@ -159,6 +171,10 @@ class ShardedEngine(Engine):
         iterations: int,
     ) -> PlaintextRun:
         degree_bound = graph.degree_bound
+        if oracle.transport is not None:
+            # one execution = one bus session (resets round counters /
+            # fault accounting), same as the inline run_float path
+            oracle.transport.open(graph, NO_OP_MESSAGE)
         states = {
             v.vertex_id: program.initial_state(v, degree_bound)
             for v in graph.vertices()
@@ -190,7 +206,12 @@ class ShardedEngine(Engine):
 
             states, trajectory = run_rounds(
                 superstep=superstep,
-                route=lambda outboxes: route_messages(graph, outboxes, NO_OP_MESSAGE),
+                # the barrier merge reuses the transport gather: the ghost
+                # exchange is one full-round delivery over the same bus
+                # every other engine routes through (and a WAN bus meters it)
+                route=lambda outboxes: route_messages(
+                    graph, outboxes, NO_OP_MESSAGE, transport=oracle.transport
+                ),
                 observe=oracle._aggregate_float,
                 states=states,
                 inboxes=inboxes,

@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
+from repro.core.transport import validate_wan_params
 from repro.crypto.group import GROUP_256, GROUP_512, TOY_GROUP_64, CyclicGroup
 from repro.exceptions import ConfigurationError
 from repro.mpc.fixedpoint import FixedPointFormat
@@ -51,6 +52,14 @@ class DStressConfig:
         from block members at ~``D/avg_degree`` times the communication
         cost. The paper transfers only on real edges (§3.6), so the
         default is False.
+    wan_latency_seconds / wan_bandwidth_bytes / wan_jitter:
+        The simulated WAN model behind
+        :class:`~repro.core.transport.SimulatedWanTransport`: base one-way
+        link latency in seconds, link bandwidth in bytes/second (``None``
+        means unconstrained), and the per-link deterministic jitter
+        fraction (each directed link's latency is scaled by a factor in
+        ``[1 - jitter, 1 + jitter]`` derived from the seed). Latency 0
+        (the default) keeps the transport a pure meter.
     """
 
     collusion_bound: int = 2
@@ -64,11 +73,17 @@ class DStressConfig:
     aggregation_fanout: int = 100
     gmw_mode: str = "ot"
     pad_transfers: bool = False
+    wan_latency_seconds: float = 0.0
+    wan_bandwidth_bytes: Optional[float] = None
+    wan_jitter: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.collusion_bound < 1:
             raise ConfigurationError("collusion bound k must be at least 1")
+        validate_wan_params(
+            self.wan_latency_seconds, self.wan_bandwidth_bytes, self.wan_jitter
+        )
         if self.dlog_half_width < self.block_size:
             raise ConfigurationError("dlog window cannot even hold a noiseless sum")
         if self.output_epsilon <= 0:

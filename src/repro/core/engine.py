@@ -25,6 +25,7 @@ from repro.core.convergence import DEFAULT_TOLERANCE, convergence_index
 from repro.core.graph import DistributedGraph
 from repro.core.program import NO_OP_MESSAGE, VertexProgram
 from repro.core.rounds import route_messages, run_rounds, sequential_superstep
+from repro.core.transport import Transport
 from repro.exceptions import ConfigurationError
 
 __all__ = ["PlaintextRun", "PlaintextEngine"]
@@ -46,10 +47,19 @@ class PlaintextRun:
 
 
 class PlaintextEngine:
-    """Executes vertex programs in the clear."""
+    """Executes vertex programs in the clear.
 
-    def __init__(self, program: VertexProgram) -> None:
+    ``transport`` (default: the shared in-memory bus) is the message bus
+    rounds are routed over; a
+    :class:`~repro.core.transport.SimulatedWanTransport` meters the same
+    execution's traffic and link delays without changing any payload.
+    """
+
+    def __init__(
+        self, program: VertexProgram, transport: Optional[Transport] = None
+    ) -> None:
         self.program = program
+        self.transport = transport
 
     # -- float mode -------------------------------------------------------------
 
@@ -57,6 +67,10 @@ class PlaintextEngine:
         """Reference execution over floats."""
         program = self.program
         degree_bound = graph.degree_bound
+        if self.transport is not None:
+            # one execution = one bus session: resets per-run transport
+            # state (round counters, fault accounting, mailboxes)
+            self.transport.open(graph, NO_OP_MESSAGE)
         states = {
             v.vertex_id: program.initial_state(v, degree_bound) for v in graph.vertices()
         }
@@ -71,7 +85,9 @@ class PlaintextEngine:
                     state, messages, degree_bound
                 ),
             ),
-            route=lambda outboxes: route_messages(graph, outboxes, NO_OP_MESSAGE),
+            route=lambda outboxes: route_messages(
+                graph, outboxes, NO_OP_MESSAGE, transport=self.transport
+            ),
             observe=self._aggregate_float,
             states=states,
             inboxes=inboxes,
@@ -112,6 +128,8 @@ class PlaintextEngine:
             raw_states[view.vertex_id] = program.encode_state(state)
 
         raw_no_op = fmt.encode(NO_OP_MESSAGE)
+        if self.transport is not None:
+            self.transport.open(graph, raw_no_op)
         inboxes: Dict[int, List[int]] = {
             v: [raw_no_op] * degree_bound for v in graph.vertex_ids
         }
@@ -123,7 +141,9 @@ class PlaintextEngine:
                     state, messages, degree_bound, circuit
                 ),
             ),
-            route=lambda outboxes: route_messages(graph, outboxes, raw_no_op),
+            route=lambda outboxes: route_messages(
+                graph, outboxes, raw_no_op, transport=self.transport
+            ),
             observe=self._aggregate_raw,
             states=raw_states,
             inboxes=inboxes,

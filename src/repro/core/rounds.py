@@ -13,7 +13,10 @@ skeleton so backends only supply the three varying pieces:
   across a process pool and merges at the barrier.
 * ``route`` — deliver outboxes to inboxes. :func:`route_messages`
   implements the §3.6 slot-to-slot delivery for any payload type (floats
-  or raw fixed-point words).
+  or raw fixed-point words). Since the transport subsystem landed it is a
+  thin wrapper over :meth:`~repro.core.transport.Transport.deliver_outboxes`;
+  pass ``transport=`` to route a run over a metered/simulated bus instead
+  of the default in-memory one.
 * ``observe`` — record the designated aggregate after each round (the
   convergence trajectory).
 
@@ -21,16 +24,36 @@ Determinism contract: :func:`run_rounds` calls ``superstep`` exactly
 ``iterations + 1`` times with identical inputs regardless of who computes
 the superstep, so two backends whose supersteps are pointwise equal
 produce bit-identical trajectories and final states.
+
+:func:`run_rounds_async` is the same schedule reshaped for the async
+engine: one pipeline per vertex over a :class:`~repro.core.transport.Transport`,
+where a vertex starts its round ``r + 1`` computation as soon as *its own*
+round-``r`` inbox is complete — overlapping computation of ready vertices
+with in-flight deliveries of slow ones — while trajectories and final
+states are still assembled in sorted-vertex order, so the result is
+bit-identical to :func:`run_rounds` for pointwise-equal updates.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple, TypeVar
+import asyncio
+import copy
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 
 from repro.core.graph import DistributedGraph
+from repro.core.transport import InMemoryTransport, Transport
 from repro.exceptions import ConfigurationError
 
-__all__ = ["run_rounds", "route_messages", "sequential_superstep"]
+__all__ = [
+    "run_rounds",
+    "run_rounds_async",
+    "route_messages",
+    "sequential_superstep",
+]
+
+#: Default bus behind :func:`route_messages`: stateless for the synchronous
+#: full-round path, so one shared instance serves every sequential engine.
+_DEFAULT_TRANSPORT = InMemoryTransport()
 
 #: Per-vertex state payload (float registers or raw fixed-point registers).
 S = TypeVar("S")
@@ -71,19 +94,23 @@ def route_messages(
     graph: DistributedGraph,
     outboxes: Dict[int, List[M]],
     fill: M,
+    transport: Optional[Transport] = None,
 ) -> Dict[int, List[M]]:
     """Deliver out-slot messages to the matching in-slots (§3.6).
 
     Unused in-slots hold ``fill`` (the encoded no-op message), so every
     vertex always receives exactly ``degree_bound`` messages and the
     communication pattern leaks nothing about the true degree.
+
+    Delivery is transport-backed: ``transport=None`` routes over the
+    shared zero-delay :class:`~repro.core.transport.InMemoryTransport`
+    (exactly the historical dict shuffle); passing a
+    :class:`~repro.core.transport.SimulatedWanTransport` meters the same
+    round into its :class:`~repro.simulation.netsim.TrafficMeter` and
+    accounts the link delays without changing a single payload.
     """
-    inboxes = {v: [fill] * graph.degree_bound for v in graph.vertex_ids}
-    for view in graph.vertices():
-        for out_slot, neighbor in enumerate(view.out_neighbors):
-            in_slot = graph.vertex(neighbor).in_slot(view.vertex_id)
-            inboxes[neighbor][in_slot] = outboxes[view.vertex_id][out_slot]
-    return inboxes
+    bus = transport if transport is not None else _DEFAULT_TRANSPORT
+    return bus.deliver_outboxes(graph, outboxes, fill)
 
 
 def sequential_superstep(
@@ -108,3 +135,147 @@ def sequential_superstep(
         return new_states, outboxes
 
     return superstep
+
+
+async def run_rounds_async(
+    graph: DistributedGraph,
+    update: Callable[[int, S, List[M]], Tuple[S, List[M]]],
+    observe: Callable[[Dict[int, S]], float],
+    states: Dict[int, S],
+    inboxes: Dict[int, List[M]],
+    iterations: int,
+    transport: Transport,
+    fill: M,
+    max_tasks: Optional[int] = None,
+    overlap: bool = True,
+) -> Tuple[Dict[int, S], List[float]]:
+    """The §3.6 schedule as per-vertex pipelines over a transport.
+
+    Each vertex runs its own task: compute round ``r``, push the round's
+    out-edge messages onto the bus, then await its complete round-``r``
+    inbox (:meth:`~repro.core.transport.Transport.gather_round` — the
+    round barrier) before computing round ``r + 1``. Nothing synchronizes
+    *across* vertices between rounds, so a vertex whose neighbors already
+    delivered computes ahead while slow links are still in flight — the
+    communication/computation overlap the paper's WAN deployment assumes.
+
+    ``max_tasks`` bounds how many vertex pipelines may occupy the compute
+    section at once: an :class:`asyncio.Semaphore` around the compute
+    step, with an explicit suspension point inside so the gate genuinely
+    contends (a synchronous-only critical section would always release
+    before anyone else could attempt acquire, making the bound a no-op).
+    Different ``max_tasks`` values therefore produce genuinely different
+    task interleavings — and identical results, which is what the parity
+    matrix asserts. The gate covers the compute section only; the message
+    waits must stay concurrent or a one-task schedule would deadlock on
+    its own barrier. ``overlap=False`` degrades to the fully
+    sequential schedule — every send awaited one at a time, in vertex-id
+    order — which is the honest WAN baseline the async engine is measured
+    against.
+
+    Bit-identity argument: a vertex's round-``r`` inbox is complete if and
+    only if it holds exactly the deliveries ``route_messages`` would have
+    produced (transports never alter payloads or slots), so every
+    ``update`` call sees the same ``(state, inbox)`` it sees under
+    :func:`run_rounds`; per-round states are recorded per vertex and
+    re-assembled in sorted-vertex order before ``observe`` runs, so float
+    summation order matches the sequential engines exactly.
+    """
+    if iterations < 0:
+        raise ConfigurationError("iteration count cannot be negative")
+    if max_tasks is not None and max_tasks < 1:
+        raise ConfigurationError("max_tasks must be at least 1")
+    vertex_ids = graph.vertex_ids
+    transport.open(graph, fill)
+    # (out_slot -> (dst, in_slot)) per vertex, precomputed once: senders
+    # resolve the destination slot, the transport only moves payloads.
+    routes: Dict[int, List[Tuple[int, int]]] = {
+        vid: [
+            (dst, graph.vertex(dst).in_slot(vid))
+            for dst in graph.vertex(vid).out_neighbors
+        ]
+        for vid in vertex_ids
+    }
+    # round -> vertex -> state-after-that-computation-step. A round is
+    # observed (in sorted-vertex order, preserving the reference float
+    # summation order) as soon as every vertex has recorded it, and its
+    # state map is freed — vertices record their rounds in order, so
+    # rounds complete in order and retained state is bounded by how far
+    # the fastest pipeline runs ahead of the slowest (O(vertices) when
+    # progress is balanced; a source vertex with no in-edges can race
+    # ahead and retain one entry per round it leads by).
+    round_states: List[Dict[int, S]] = [{} for _ in range(iterations + 1)]
+    num_vertices = len(vertex_ids)
+    trajectory: List[float] = []
+
+    def record(round_index: int, vid: int, state: S) -> None:
+        # snapshot, don't alias: observation is deferred until the whole
+        # round completes, and an update that mutates its state dict in
+        # place (instead of returning a fresh one) would otherwise leak a
+        # fast vertex's future rounds into an earlier observation — the
+        # sequential scheduler observes immediately, so async must see
+        # the same values. A shallow copy covers the flat register maps
+        # every engine uses.
+        round_states[round_index][vid] = copy.copy(state)
+        next_round = len(trajectory)
+        while next_round <= iterations and len(round_states[next_round]) == num_vertices:
+            per_round = round_states[next_round]
+            trajectory.append(observe({v: per_round[v] for v in vertex_ids}))
+            if next_round < iterations:  # the final round backs final_states
+                round_states[next_round] = {}
+            next_round += 1
+
+    if overlap:
+        gate = asyncio.Semaphore(max_tasks) if max_tasks is not None else None
+
+        async def vertex_pipeline(vid: int) -> None:
+            state = states[vid]
+            inbox = inboxes[vid]
+            for round_index in range(iterations):
+                if gate is not None:
+                    async with gate:
+                        # the yield makes the gate real: the holder
+                        # suspends here, so other pipelines actually
+                        # queue on acquire while this slot is occupied
+                        await asyncio.sleep(0)
+                        state, outbox = update(vid, state, inbox)
+                else:
+                    state, outbox = update(vid, state, inbox)
+                record(round_index, vid, state)
+                sends = [
+                    transport.send(vid, dst, in_slot, outbox[out_slot], round_index)
+                    for out_slot, (dst, in_slot) in enumerate(routes[vid])
+                ]
+                if sends:
+                    await asyncio.gather(*sends)
+                inbox = await transport.gather_round(vid, round_index)
+            state, _ = update(vid, state, inbox)
+            record(iterations, vid, state)
+
+        await asyncio.gather(*(vertex_pipeline(vid) for vid in vertex_ids))
+    else:
+        # Sequential reference schedule over the same bus: compute every
+        # vertex, then await every send one at a time, then gather — no
+        # overlap anywhere, so wall-clock pays the full sum of link delays.
+        current = dict(states)
+        current_inboxes = dict(inboxes)
+        for round_index in range(iterations):
+            outboxes: Dict[int, List[M]] = {}
+            for vid in vertex_ids:
+                current[vid], outboxes[vid] = update(
+                    vid, current[vid], current_inboxes[vid]
+                )
+                record(round_index, vid, current[vid])
+            for vid in vertex_ids:
+                for out_slot, (dst, in_slot) in enumerate(routes[vid]):
+                    await transport.send(
+                        vid, dst, in_slot, outboxes[vid][out_slot], round_index
+                    )
+            for vid in vertex_ids:
+                current_inboxes[vid] = await transport.gather_round(vid, round_index)
+        for vid in vertex_ids:
+            current[vid], _ = update(vid, current[vid], current_inboxes[vid])
+            record(iterations, vid, current[vid])
+
+    final_states = {vid: round_states[iterations][vid] for vid in vertex_ids}
+    return final_states, trajectory

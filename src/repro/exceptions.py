@@ -41,3 +41,8 @@ class ConfigurationError(DStressError):
 
 class ConvergenceError(DStressError):
     """An iterative solver failed to converge within its iteration bound."""
+
+
+class TransportError(DStressError):
+    """A message-bus delivery fault: a dropped, duplicated, or timed-out
+    round message (see :mod:`repro.core.transport`)."""

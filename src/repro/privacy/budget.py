@@ -75,6 +75,23 @@ class PrivacyAccountant:
         self.charges.append(charge)
         return charge
 
+    def refund(self, charge: BudgetCharge) -> None:
+        """Remove a recorded charge whose release never happened.
+
+        Sound only when the noised output covered by ``charge`` was never
+        computed and published — e.g. a pre-charged streaming batch
+        abandoned before the scenario ran (releasing nothing consumes no
+        privacy). Raises if the charge is not on the books (already
+        refunded, or recorded by a different accountant).
+        """
+        try:
+            self.charges.remove(charge)
+        except ValueError:
+            raise SensitivityError(
+                f"cannot refund unknown charge {charge.label!r} "
+                f"(epsilon {charge.epsilon:.4g}); was it already refunded?"
+            ) from None
+
     def replenish(self) -> None:
         """Start a new budget period (e.g. a new disclosure year)."""
         self.period += 1

@@ -10,7 +10,7 @@ wall-clock artifacts of the simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 __all__ = ["NodeStats", "TrafficMeter", "PhaseTimer"]
 
@@ -31,10 +31,17 @@ class NodeStats:
 
 
 class TrafficMeter:
-    """Aggregates :class:`NodeStats` across all simulated nodes."""
+    """Aggregates :class:`NodeStats` across all simulated nodes.
+
+    Beyond the historical per-node totals, every send is also attributed
+    to its directed *link* ``(src, dst)`` — the granularity the simulated
+    WAN transport schedules delays at — so link-level hot spots are
+    inspectable (:meth:`link_bytes`, :attr:`num_links`).
+    """
 
     def __init__(self) -> None:
         self._stats: Dict[int, NodeStats] = {}
+        self._links: Dict[Tuple[int, int], float] = {}
 
     def node(self, node_id: int) -> NodeStats:
         if node_id not in self._stats:
@@ -45,6 +52,21 @@ class TrafficMeter:
         """A point-to-point message: bytes leave ``src`` and enter ``dst``."""
         self.node(src).bytes_sent += num_bytes
         self.node(dst).bytes_received += num_bytes
+        self._links[(src, dst)] = self._links.get((src, dst), 0.0) + num_bytes
+
+    def link_bytes(self, src: int, dst: int) -> float:
+        """Total bytes carried by the directed link ``src -> dst``."""
+        return self._links.get((src, dst), 0.0)
+
+    @property
+    def num_links(self) -> int:
+        """Distinct directed links that carried at least one message."""
+        return len(self._links)
+
+    def busiest_links(self, top: int = 5) -> List[Tuple[Tuple[int, int], float]]:
+        """The ``top`` heaviest directed links, descending by bytes."""
+        ranked = sorted(self._links.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:top]
 
     @property
     def node_ids(self) -> List[int]:

@@ -1,0 +1,270 @@
+"""The async engine: options, WAN metering, overlap, batch integration.
+
+Bit-identity against ``plaintext`` at every task count is asserted by
+the cross-engine parity matrix (``test_engine_parity_matrix.py``); this
+file covers everything around it — option validation through the
+registry, the simulated-WAN traffic accounting, the sequential
+(``overlap=False``) baseline, transport faults surfacing as
+scenario-named batch errors, and the worker planner accounting for task
+concurrency the way it accounts for shards.
+"""
+
+import pytest
+
+from repro import StressTest
+from repro.api import AsyncEngine, Scenario, get_engine
+from repro.api.pool import cpu_budget, plan_workers
+from repro.core.transport import FaultInjectingTransport, InMemoryTransport
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import ConfigurationError, TransportError
+from repro.finance import apply_shock, uniform_shock
+from repro.graphgen import CorePeripheryParams, core_periphery_network
+
+SEED = 123
+ITERATIONS = 4
+
+
+@pytest.fixture(scope="module")
+def network():
+    net = core_periphery_network(
+        CorePeripheryParams(num_banks=10, core_size=3), DeterministicRNG(11)
+    )
+    return apply_shock(net, uniform_shock(range(0, 3), 0.9, "core-shock"))
+
+
+@pytest.fixture(scope="module")
+def reference(network):
+    return (
+        StressTest(network)
+        .program("eisenberg-noe")
+        .engine("plaintext")
+        .seed(SEED)
+        .run(iterations=ITERATIONS)
+    )
+
+
+def _session(network, **engine_options):
+    return (
+        StressTest(network)
+        .program("eisenberg-noe")
+        .engine("async", **engine_options)
+        .seed(SEED)
+    )
+
+
+# ------------------------------------------------------------------ options --
+
+
+def test_engine_options_validated_through_registry():
+    with pytest.raises(ConfigurationError, match="positive int"):
+        get_engine("async", tasks=0)
+    with pytest.raises(ConfigurationError, match="positive int"):
+        AsyncEngine(tasks=True)
+    with pytest.raises(ConfigurationError, match="Transport instance or a name"):
+        AsyncEngine(transport=3.14)
+    with pytest.raises(ConfigurationError, match="rejected options"):
+        get_engine("async", shards=4)  # sharded's option, not async's
+    # aliases resolve
+    assert isinstance(get_engine("asyncio"), AsyncEngine)
+    assert isinstance(get_engine("overlapped", tasks=2), AsyncEngine)
+
+
+def test_runs_inside_an_already_running_event_loop(network, reference):
+    # notebook kernels execute user code on a running loop; the engine
+    # must still work (and stay bit-identical) from that context
+    import asyncio
+
+    async def in_loop():
+        return _session(network, tasks=4).run(iterations=ITERATIONS)
+
+    result = asyncio.run(in_loop())
+    assert result.trajectory == reference.trajectory
+    assert result.final_states == reference.final_states
+
+
+def test_unknown_transport_name_fails_at_construction(network):
+    # a typo'd transport must refuse at engine construction so a batch
+    # aborts at resolve time, before compute or budget is spent
+    with pytest.raises(ConfigurationError, match="unknown transport"):
+        AsyncEngine(transport="avian")
+    template = StressTest(network).program("eisenberg-noe").seed(SEED)
+    with pytest.raises(ConfigurationError, match="failed to resolve"):
+        template.run_many(
+            [Scenario("typo", engine="async", engine_options={"transport": "avian"})]
+        )
+
+
+# -------------------------------------------------------------- wan metering --
+
+
+def test_wan_run_is_bit_identical_and_metered(network, reference):
+    result = _session(network, tasks=4, transport="wan").run(iterations=ITERATIONS)
+    assert result.trajectory == reference.trajectory
+    assert result.aggregate == reference.aggregate
+    assert result.final_states == reference.final_states
+    # traffic: every real edge carries one fixed-point word per round
+    graph = network.to_en_graph(None)
+    word_bytes = 16 / 8.0  # default FixedPointFormat(16, 8)
+    expected = graph.num_edges * ITERATIONS * word_bytes
+    assert result.traffic is not None
+    assert result.traffic.total_bytes_sent == pytest.approx(expected)
+    assert result.traffic.num_links == graph.num_edges
+    assert result.extras["wan_bytes"] == pytest.approx(expected)
+    assert result.extras["messages_sent"] == graph.num_edges * ITERATIONS
+
+
+def test_reused_transport_instance_reports_per_run_deltas(network):
+    from repro.core.transport import SimulatedWanTransport
+
+    bus = SimulatedWanTransport(latency_seconds=0.0, message_bytes=2.0, realtime=False)
+    engine = AsyncEngine(tasks=4, transport=bus)
+    session = StressTest(network).program("eisenberg-noe").engine(engine).seed(SEED)
+    first = session.run(iterations=ITERATIONS)
+    second = session.run(iterations=ITERATIONS)
+    # the bus's meter is cumulative, but each result reports its own run
+    assert second.extras["wan_bytes"] == first.extras["wan_bytes"]
+    assert bus.meter.total_bytes_sent == pytest.approx(2 * first.extras["wan_bytes"])
+
+
+def test_sharded_wan_transport_is_observable(network, reference):
+    result = (
+        StressTest(network)
+        .program("eisenberg-noe")
+        .engine("sharded", shards=1, transport="wan")
+        .seed(SEED)
+        .run(iterations=ITERATIONS)
+    )
+    assert result.trajectory == reference.trajectory
+    graph = network.to_en_graph(None)
+    expected = graph.num_edges * ITERATIONS * (16 / 8.0)
+    assert result.traffic is not None
+    assert result.extras["wan_bytes"] == pytest.approx(expected)
+
+
+def test_wan_latency_accounts_simulated_seconds(network, reference):
+    result = (
+        _session(network, tasks=8, transport="wan")
+        .configure(wan_latency_seconds=0.0005, wan_jitter=0.25)
+        .run(iterations=ITERATIONS)
+    )
+    # values never move, only the clock and the meters
+    assert result.trajectory == reference.trajectory
+    assert result.extras["simulated_seconds"] > 0.0
+
+
+def test_overlap_false_is_the_sequential_baseline(network, reference):
+    result = _session(network, overlap=False).run(iterations=ITERATIONS)
+    assert result.trajectory == reference.trajectory
+    assert result.final_states == reference.final_states
+    assert result.extras["overlap"] == 0.0
+
+
+# ------------------------------------------------------------------- faults --
+
+
+def test_transport_fault_surfaces_as_scenario_named_batch_error(network):
+    graph = network.to_en_graph(None)
+    src, dst = next(iter(graph.edges()))
+    faulty = AsyncEngine(tasks=4, transport=FaultInjectingTransport(drop=[(src, dst, 1)]))
+    template = StressTest(network).program("eisenberg-noe").seed(SEED)
+    batch = template.run_many(
+        [
+            Scenario("dropped-link", engine=faulty, iterations=ITERATIONS),
+            Scenario("healthy", iterations=ITERATIONS),
+        ]
+    )
+    failed = batch.by_name("dropped-link")
+    assert not failed.ok
+    assert "dropped-link" in failed.error  # scenario-named, not a hang
+    assert "TransportError" in failed.error
+    assert f"{src}->{dst}" in failed.error
+    assert batch.by_name("healthy").ok
+
+
+def test_duplicate_fault_raises_directly(network):
+    graph = network.to_en_graph(None)
+    src, dst = next(iter(graph.edges()))
+    engine = AsyncEngine(
+        tasks=2, transport=FaultInjectingTransport(duplicate=[(src, dst, 0)])
+    )
+    session = StressTest(network).program("eisenberg-noe").engine(engine).seed(SEED)
+    with pytest.raises(TransportError, match="duplicate delivery"):
+        session.run(iterations=2)
+
+
+# ---------------------------------------------------------- worker planning --
+
+
+def test_intra_run_width_covers_tasks_and_shards():
+    assert AsyncEngine(tasks=6).intra_run_width == 6
+    assert get_engine("sharded", shards=3).intra_run_width == 3
+    assert get_engine("plaintext").intra_run_width == 1
+    # the sequential schedule runs one pipeline: the planner must not be
+    # throttled by a task count that never deploys
+    assert AsyncEngine(tasks=16, overlap=False).intra_run_width == 1
+
+
+def test_intra_run_width_rejects_non_int_declarations():
+    # a misdeclared width must surface, not silently mean "serial"
+    from repro.api import Engine
+
+    class Weird(Engine):
+        name = "weird"
+
+        def __init__(self, tasks):
+            self.tasks = tasks
+
+        def execute(self, program, graph, iterations, config, accountant=None):
+            raise AssertionError
+
+    for bad in ("16", 2.5, True, 0):
+        with pytest.raises(ConfigurationError, match="shard width / task"):
+            Weird(bad).intra_run_width
+
+
+def test_invalid_width_rejected_even_in_mixed_batches(network):
+    # a bad declaration must not hide behind another scenario's valid
+    # wider one (max() would mask it if plan_workers saw only the max)
+    class BadWidthEngine(AsyncEngine):
+        name = "bad-width"
+        intra_run_width = 0
+
+    template = StressTest(network).program("eisenberg-noe").seed(SEED)
+    scenarios = [
+        Scenario("bad", engine=BadWidthEngine(), iterations=2),
+        Scenario("wide", engine="sharded", engine_options={"shards": 4}, iterations=2),
+    ]
+    with pytest.raises(ConfigurationError, match="shard width"):
+        template.run_many(scenarios, workers=2)
+
+
+def test_plan_workers_caps_async_batches_like_sharded_ones(network):
+    # a wide async batch is CPU-capped exactly as a sharded one would be
+    requested = 4 * cpu_budget()
+    tasks = 4 * cpu_budget()
+    assert plan_workers(requested, tasks, shard_width=8) == cpu_budget()
+
+    template = StressTest(network).program("eisenberg-noe").seed(SEED)
+    scenarios = [
+        Scenario(f"s{i}", engine="async", engine_options={"tasks": 8}, iterations=2)
+        for i in range(2 * cpu_budget() + 2)
+    ]
+    batch = template.run_many(scenarios, workers=2 * cpu_budget() + 2)
+    assert batch.workers <= cpu_budget()
+    assert all(outcome.ok for outcome in batch)
+
+
+def test_async_inside_batch_workers_stays_bit_identical(network, reference):
+    template = StressTest(network).program("eisenberg-noe").seed(SEED)
+    batch = template.run_many(
+        [
+            Scenario("async-a", engine="async", engine_options={"tasks": 4}),
+            Scenario("async-b", engine="async", engine_options={"tasks": 16}),
+        ],
+        workers=2,
+    )
+    assert all(outcome.ok for outcome in batch)
+    a, b = batch.by_name("async-a"), batch.by_name("async-b")
+    # task count must not change a single bit, even through pool workers
+    assert a.result.trajectory == b.result.trajectory
+    assert a.result.aggregate == b.result.aggregate

@@ -1,17 +1,20 @@
 """Cross-engine parity matrix: the correctness bar for every backend.
 
-Engines (``plaintext``, ``fixed``, ``sharded`` at 1/2/3 shards) x
-programs (``eisenberg-noe``, ``elliott-golub-jackson``) x graph
-generators (core-periphery, scale-free), all under a fixed seed:
+Engines (``plaintext``, ``fixed``, ``sharded`` at 1/2/3 shards,
+``async`` at 1/4/16 tasks) x programs (``eisenberg-noe``,
+``elliott-golub-jackson``) x graph generators (core-periphery,
+scale-free), all under a fixed seed:
 
-* every float-mode backend (``plaintext``, ``sharded@k``) must produce a
-  **bit-identical** pre-noise trajectory — not approximately equal:
-  float addition is not associative, so bit-identity proves the sharded
-  barrier merge preserves the reference evaluation order;
+* every float-mode backend (``plaintext``, ``sharded@k``, ``async@t``)
+  must produce a **bit-identical** pre-noise trajectory — not
+  approximately equal: float addition is not associative, so bit-identity
+  proves the sharded barrier merge and the async engine's
+  completion-order-independent state assembly both preserve the reference
+  evaluation order;
 * the ``fixed`` backend must be bit-reproducible run-to-run and stay
   within quantization distance of the float oracle.
 
-Any future backend (async, remote) earns its registry entry by joining
+Any future backend (remote, ...) earns its registry entry by joining
 this matrix.
 """
 
@@ -39,6 +42,9 @@ FLOAT_ENGINES = (
     ("sharded", {"shards": 1}),
     ("sharded", {"shards": 2}),
     ("sharded", {"shards": 3}),
+    ("async", {"tasks": 1}),
+    ("async", {"tasks": 4}),
+    ("async", {"tasks": 16}),
 )
 
 
