@@ -1,0 +1,146 @@
+"""The CI benchmark-regression guard.
+
+CI reruns the smoke benchmarks (``bench_async.py``,
+``bench_secure_async.py`` under ``REPRO_BENCH_SMOKE=1``) on every push
+with ``--benchmark-json``, and this script compares the fresh means
+against the committed ``BENCH_BASELINE.json``: a benchmark more than
+``--threshold`` (default 30%) slower than its baseline fails the build,
+and every comparison lands as a markdown delta table in
+``$GITHUB_STEP_SUMMARY`` (or stdout when unset).
+
+Why wall-clock comparison is not hopeless noise here: both guarded
+benchmarks run over a realtime :class:`SimulatedWanTransport`, so their
+timings are dominated by *simulated link delays* the bus genuinely
+sleeps — a scheduling regression (an await that should overlap but
+doesn't) moves the number by integer factors, while machine speed moves
+it by percents. The 30% gate sits between the two.
+
+Usage::
+
+    # refresh the committed baseline (run on the reference machine):
+    python benchmarks/check_regression.py --write-baseline \
+        --results bench_results.json --baseline BENCH_BASELINE.json
+
+    # gate a CI run:
+    python benchmarks/check_regression.py --check \
+        --results bench_results.json --baseline BENCH_BASELINE.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict
+
+DEFAULT_THRESHOLD = 0.30
+
+
+def load_result_means(results_path: Path) -> Dict[str, float]:
+    """Benchmark name -> mean seconds, from a pytest-benchmark JSON file."""
+    with results_path.open() as handle:
+        payload = json.load(handle)
+    means = {}
+    for bench in payload.get("benchmarks", []):
+        means[bench["name"]] = float(bench["stats"]["mean"])
+    if not means:
+        raise SystemExit(f"no benchmarks found in {results_path}")
+    return means
+
+
+def write_baseline(means: Dict[str, float], baseline_path: Path) -> None:
+    baseline = {
+        "comment": (
+            "Smoke-benchmark means (seconds) the CI regression guard compares "
+            "against; refresh with benchmarks/check_regression.py --write-baseline"
+        ),
+        "threshold": DEFAULT_THRESHOLD,
+        "benchmarks": {name: {"mean": mean} for name, mean in sorted(means.items())},
+    }
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {len(means)} baseline entr{'y' if len(means) == 1 else 'ies'} to {baseline_path}")
+
+
+def markdown_delta_table(rows) -> str:
+    lines = [
+        "## Benchmark regression guard",
+        "",
+        "| benchmark | baseline [s] | current [s] | delta | verdict |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, base, current, delta, verdict in rows:
+        base_cell = f"{base:.4f}" if base is not None else "-"
+        delta_cell = f"{delta:+.1%}" if delta is not None else "-"
+        lines.append(f"| `{name}` | {base_cell} | {current:.4f} | {delta_cell} | {verdict} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def check(means: Dict[str, float], baseline_path: Path, threshold: float) -> int:
+    with baseline_path.open() as handle:
+        baseline = json.load(handle)
+    base_means = {
+        name: float(entry["mean"]) for name, entry in baseline["benchmarks"].items()
+    }
+    rows = []
+    failures = []
+    for name in sorted(set(means) | set(base_means)):
+        current = means.get(name)
+        base = base_means.get(name)
+        if current is None:
+            rows.append((name, base, float("nan"), None, "MISSING from this run"))
+            failures.append(f"{name}: present in baseline but not in results")
+            continue
+        if base is None:
+            # a new benchmark has no history to regress against: record it
+            # so the next --write-baseline picks it up, but don't fail
+            rows.append((name, None, current, None, "NEW (no baseline)"))
+            continue
+        delta = (current - base) / base
+        if delta > threshold:
+            verdict = f"FAIL (> {threshold:.0%} slower)"
+            failures.append(f"{name}: {base:.4f}s -> {current:.4f}s ({delta:+.1%})")
+        else:
+            verdict = "ok"
+        rows.append((name, base, current, delta, verdict))
+
+    table = markdown_delta_table(rows)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(table + "\n")
+    print(table)
+    if failures:
+        print("benchmark regression guard FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"benchmark regression guard ok ({len(rows)} benchmarks within {threshold:.0%})")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", type=Path, required=True,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", type=Path, default=Path("BENCH_BASELINE.json"))
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="max tolerated slowdown fraction (default 0.30)")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="compare results against the baseline; exit 1 on regression")
+    mode.add_argument("--write-baseline", action="store_true",
+                      help="(re)write the baseline from the results")
+    args = parser.parse_args()
+
+    means = load_result_means(args.results)
+    if args.write_baseline:
+        write_baseline(means, args.baseline)
+        return 0
+    return check(means, args.baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

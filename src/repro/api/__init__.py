@@ -8,9 +8,10 @@ across a process pool while one :class:`~repro.privacy.budget.PrivacyAccountant`
 guards the yearly budget.
 
 Importing this package registers the built-in engines (``plaintext``,
-``fixed``, ``secure``, ``naive-mpc``, ``sharded``, ``async``) and programs
-(``eisenberg-noe``, ``elliott-golub-jackson``). See DESIGN.md for the
-architecture and README.md for the old-call → new-call migration table.
+``fixed``, ``secure``, ``naive-mpc``, ``sharded``, ``async``,
+``secure-async``) and programs (``eisenberg-noe``,
+``elliott-golub-jackson``). See DESIGN.md for the architecture and
+README.md for the old-call → new-call migration table.
 """
 
 from repro.api.async_engine import AsyncEngine
@@ -23,6 +24,7 @@ from repro.api.engines import (
     PlaintextFloatEngine,
     SecureDStressEngine,
 )
+from repro.api.secure_async import SecureAsyncEngine
 from repro.api.sharded import ShardedEngine
 from repro.api.registry import (
     ProgramEntry,
@@ -49,6 +51,7 @@ __all__ = [
     "Scenario",
     "ScenarioCache",
     "ScenarioOutcome",
+    "SecureAsyncEngine",
     "SecureDStressEngine",
     "ShardedEngine",
     "StressTest",

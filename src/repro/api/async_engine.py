@@ -36,7 +36,7 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Union
+from typing import Union
 
 from repro.api.engines import Engine, _from_plaintext, validate_intra_run_width
 from repro.api.registry import register_engine
@@ -52,10 +52,10 @@ from repro.core.transport import (
 )
 from repro.simulation.netsim import TrafficMeter
 
-__all__ = ["AsyncEngine"]
+__all__ = ["AsyncEngine", "run_coroutine"]
 
 
-def _run_coroutine(coro):
+def run_coroutine(coro):
     """Drive ``coro`` to completion from synchronous code, loop or no loop.
 
     ``asyncio.run`` refuses to nest inside a running event loop, which is
@@ -63,6 +63,7 @@ def _run_coroutine(coro):
     In that case the schedule runs on a private loop in a worker thread —
     the engine's ``execute`` stays synchronous either way, and the
     computation is deterministic regardless of which thread hosts it.
+    Shared by every asyncio-scheduled backend (``async``, ``secure-async``).
     """
     try:
         asyncio.get_running_loop()
@@ -118,7 +119,7 @@ class AsyncEngine(Engine):
         }
         inboxes = {v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids}
 
-        final_states, trajectory = _run_coroutine(
+        final_states, trajectory = run_coroutine(
             run_rounds_async(
                 graph=graph,
                 update=lambda _vid, state, messages: program.float_update(

@@ -15,6 +15,9 @@ previously-disjoint entry points:
 ``async``      float mode as per-vertex asyncio pipelines over a
                transport bus, overlapping computation with deliveries
                (:class:`~repro.api.async_engine.AsyncEngine`)
+``secure-async``  the full protocol with per-block OT batches dispatched
+               over the transport bus, bit-identical to ``secure``
+               (:class:`~repro.api.secure_async.SecureAsyncEngine`)
 =============  ==========================================================
 
 All built-ins compute the *same function* pre-noise on the same graph

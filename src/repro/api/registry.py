@@ -12,8 +12,9 @@ Both support aliases and are open for extension: third-party backends
 register themselves with :func:`register_engine` and immediately become
 addressable from ``StressTest(...).engine("my-backend")`` and from batch
 scenarios. Engine factories take constructor options through
-:func:`get_engine` (``get_engine("async", tasks=8, transport="wan")``),
-which is how session and scenario engine options reach the backend.
+:func:`get_engine` (``get_engine("async", tasks=8, transport="wan")``,
+``get_engine("secure-async", overlap=False)``), which is how session and
+scenario engine options reach the backend.
 Lookup errors always list what *is* registered, so a typo is a
 one-glance fix.
 """

@@ -1,0 +1,150 @@
+"""The secure-async engine: DStress GMW rounds over a transport bus.
+
+The paper's §6 wall-clock numbers are dominated by transfer I/O — a
+secure round's cost is the wire time of its OT-extension batches and §3.5
+transfer aggregates, not the local crypto. The sequential
+``engine="secure"`` backend computes everything in a straight line, so it
+cannot model that claim. This backend runs the *same* protocol
+(:meth:`repro.core.secure_engine.SecureEngine.run_async`) with every
+block batch dispatched through a
+:class:`~repro.core.transport.Transport`: as soon as a block's GMW
+evaluation finishes, its per-link OT bytes go on the bus as an asyncio
+task, and the next block's evaluation proceeds while those bytes are
+still in flight on a simulated WAN.
+
+Engine options (all reachable through the registry and batch scenarios)::
+
+    StressTest(net).program("en").engine("secure-async").run()
+    .engine("secure-async", tasks=8)           # bound in-flight batches
+    .engine("secure-async", transport="wan")   # metered simulated WAN
+    .engine("secure-async", transport=bus)     # any Transport instance
+    .engine("secure-async", overlap=False)     # sequential-over-the-bus
+                                               # baseline (benchmark foil)
+
+Determinism contract: released outputs are **bit-identical** to
+``engine="secure"`` under the same seeds — every
+:meth:`~repro.crypto.rng.DeterministicRNG.fork` consumes parent stream,
+so the async driver performs the crypto in the sequential transcript
+order and overlaps only the wire time, which never touches a payload.
+The parity matrix asserts this cell by cell. ``result.traffic`` stays
+the protocol meter (per-node *and* per-link, OT-extension bytes
+included); a WAN bus's own delay accounting lands in
+``extras["simulated_seconds"]`` / ``extras["wan_bytes"]``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Union
+
+from repro.api.async_engine import run_coroutine
+from repro.api.engines import Engine, validate_intra_run_width
+from repro.api.registry import register_engine
+from repro.api.result import RunResult
+from repro.core.secure_engine import SecureEngine
+from repro.core.transport import (
+    Transport,
+    check_transport_spec,
+    transport_from_spec,
+    wan_meter_snapshot,
+)
+
+__all__ = ["SecureAsyncEngine"]
+
+
+class SecureAsyncEngine(Engine):
+    """The full DStress protocol with rounds scheduled over a transport.
+
+    ``tasks`` bounds how many block batches may be in flight at once;
+    ``transport`` picks the bus (``"memory"``, ``"wan"``, or a
+    :class:`~repro.core.transport.Transport` instance); ``overlap=False``
+    awaits every link delivery one at a time — the honest sequential
+    baseline ``benchmarks/bench_secure_async.py`` measures the overlap
+    against.
+    """
+
+    name = "secure-async"
+    releases_output = True
+
+    def __init__(
+        self,
+        tasks: int = 4,
+        transport: Union[str, Transport] = "memory",
+        overlap: bool = True,
+    ) -> None:
+        self.tasks = validate_intra_run_width(tasks, self.name)
+        self.transport = check_transport_spec(transport)
+        self.overlap = bool(overlap)
+
+    @property
+    def intra_run_width(self) -> int:
+        """In-flight batch concurrency when overlapping, 1 for the
+        sequential schedule — what the batch planner budgets for."""
+        return self.tasks if self.overlap else 1
+
+    def execute(self, program, graph, iterations, config, accountant=None):
+        started = time.perf_counter()
+        bus = transport_from_spec(self.transport, config)
+        # A caller-supplied Transport instance may be reused across runs;
+        # snapshot its counters so the extras below report *this* run.
+        before = wan_meter_snapshot(bus)
+
+        engine = SecureEngine(program, config)
+        result = run_coroutine(
+            engine.run_async(
+                graph,
+                iterations,
+                transport=bus,
+                accountant=accountant,
+                max_tasks=self.tasks,
+                overlap=self.overlap,
+            )
+        )
+
+        run_result = RunResult(
+            engine=self.name,
+            program=program.name,
+            aggregate=result.noisy_output,
+            trajectory=list(result.trajectory),
+            iterations=iterations,
+            wall_seconds=time.perf_counter() - started,
+            pre_noise_aggregate=result.pre_noise_output,
+            noise_raw=result.noise_raw,
+            epsilon=config.output_epsilon,
+            traffic=result.traffic,
+            phases=result.phases,
+            extras={
+                "transfer_count": float(result.transfer_count),
+                "gmw_ot_count": float(result.gmw_ot_count),
+                "aggregation_levels": float(result.aggregation_levels),
+                # effective concurrency, as with the async engine: the
+                # sequential schedule keeps one batch in flight no matter
+                # what the constructor asked for
+                "tasks": float(self.tasks if self.overlap else 1),
+                "overlap": 1.0 if self.overlap else 0.0,
+            },
+            raw=result,
+        )
+        self._attach_bus_extras(run_result, bus, before)
+        return run_result
+
+    @staticmethod
+    def _attach_bus_extras(run_result: RunResult, bus, before) -> None:
+        """Stamp the bus's WAN accounting as per-run deltas.
+
+        Unlike :func:`~repro.core.transport.attach_wan_extras` this keeps
+        ``result.traffic`` pointing at the *protocol* meter — the secure
+        engine's per-node/per-link accounting (role bytes, exponentiation
+        counts, OT-extension links) is strictly richer than the bus's
+        delivery log, so the bus contributes only the delay model.
+        """
+        from repro.core.transport import SimulatedWanTransport
+
+        if isinstance(bus, SimulatedWanTransport):
+            run_result.extras["simulated_seconds"] = bus.simulated_seconds - before[0]
+            run_result.extras["wan_bytes"] = bus.meter.total_bytes_sent - before[1]
+
+
+register_engine(
+    "secure-async", SecureAsyncEngine, aliases=("secure-asyncio", "dstress-async")
+)

@@ -20,7 +20,7 @@ from typing import List, Sequence
 
 from repro.crypto.rng import DeterministicRNG
 from repro.exceptions import ProtocolError
-from repro.sharing.xor import share_value, xor_all
+from repro.sharing.xor import share_value
 
 __all__ = ["reshare_word", "plan_groups", "partial_sum_width", "AggregationPlan"]
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import copy
-from typing import Callable, Dict, List, Optional, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Set, Tuple, TypeVar
 
 from repro.core.graph import DistributedGraph
 from repro.core.transport import InMemoryTransport, Transport
@@ -49,6 +49,7 @@ __all__ = [
     "run_rounds_async",
     "route_messages",
     "sequential_superstep",
+    "SecureRoundScheduler",
 ]
 
 #: Default bus behind :func:`route_messages`: stateless for the synchronous
@@ -279,3 +280,112 @@ async def run_rounds_async(
 
     final_states = {vid: round_states[iterations][vid] for vid in vertex_ids}
     return final_states, trajectory
+
+
+class SecureRoundScheduler:
+    """Overlap per-block crypto deliveries with the blocks still computing.
+
+    The secure engine's rounds have a different shape from the plaintext
+    ones: the expensive unit is not a vertex update but a *block batch* —
+    the OT-extension bits a block's GMW evaluation puts on the wire, or a
+    §3.5 transfer's aggregates. The values of those batches must be
+    computed in the sequential engine's exact order (every fork of the
+    :class:`~repro.crypto.rng.DeterministicRNG` consumes parent stream, so
+    reordering crypto work would change the transcript and break
+    bit-identity with ``engine="secure"``); what *can* overlap is the
+    wire time. This scheduler is that overlap: :meth:`dispatch` hands a
+    finished batch's per-link bytes to the bus as an asyncio task and
+    returns to the caller immediately, so block ``b + 1``'s OT
+    computation proceeds while block ``b``'s bytes are still in flight on
+    a :class:`~repro.core.transport.SimulatedWanTransport`;
+    :meth:`barrier` is the §3.6 step boundary — computation steps and
+    communication steps never interleave.
+
+    ``max_tasks`` bounds how many batch deliveries may be in flight at
+    once (an :class:`asyncio.Semaphore` acquired inside the task, so
+    dispatch itself never blocks the computing coroutine).
+    ``overlap=False`` awaits every link of every batch one at a time —
+    the honest sequential baseline, paying the full sum of link delays —
+    which is what ``benchmarks/bench_secure_async.py`` measures the
+    overlap against.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        max_tasks: Optional[int] = None,
+        overlap: bool = True,
+    ) -> None:
+        if max_tasks is not None and max_tasks < 1:
+            raise ConfigurationError("max_tasks must be at least 1")
+        self.transport = transport
+        self.overlap = bool(overlap)
+        self._gate = asyncio.Semaphore(max_tasks) if max_tasks is not None else None
+        self._pending: Set[asyncio.Task] = set()
+
+    async def _deliver(
+        self, link_bytes: Dict[Tuple[int, int], float], round_index: int, kind: str
+    ) -> None:
+        conveys = [
+            self.transport.convey(src, dst, num_bytes, round_index, kind=kind)
+            for (src, dst), num_bytes in sorted(link_bytes.items())
+        ]
+        if not conveys:
+            return
+        if self._gate is None:
+            await asyncio.gather(*conveys)
+        else:
+            async with self._gate:
+                await asyncio.gather(*conveys)
+
+    async def dispatch(
+        self,
+        link_bytes: Dict[Tuple[int, int], float],
+        round_index: int,
+        kind: str = "crypto",
+    ) -> None:
+        """Put one block batch on the wire.
+
+        Overlapping mode schedules the delivery and yields once (so the
+        new task actually enters its link waits before the caller resumes
+        computing); sequential mode awaits every link in sorted order.
+        """
+        if not self.overlap:
+            for (src, dst), num_bytes in sorted(link_bytes.items()):
+                await self.transport.convey(src, dst, num_bytes, round_index, kind=kind)
+            return
+        task = asyncio.ensure_future(self._deliver(link_bytes, round_index, kind))
+        self._pending.add(task)
+        task.add_done_callback(self._pending.discard)
+        # let the fresh task reach its first await so its link delays are
+        # genuinely in flight while the caller's next block computes
+        await asyncio.sleep(0)
+
+    async def barrier(self) -> None:
+        """Await all in-flight deliveries (the §3.6 step boundary).
+
+        Propagates the first delivery failure — a faulted convey raises
+        here, at the step that depended on it, instead of hanging. Every
+        task is awaited even on failure (``return_exceptions=True``), so
+        sibling faults are consumed rather than logged as unretrieved.
+        """
+        pending = list(self._pending)
+        self._pending.clear()
+        if not pending:
+            return
+        outcomes = await asyncio.gather(*pending, return_exceptions=True)
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+
+    async def drain(self) -> None:
+        """Consume every in-flight delivery, suppressing their failures.
+
+        The cleanup path for a driver already unwinding another error:
+        abandoned tasks would otherwise surface as "exception was never
+        retrieved" noise over the real traceback.
+        """
+        pending = list(self._pending)
+        self._pending.clear()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)

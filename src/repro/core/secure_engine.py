@@ -18,9 +18,21 @@ output:
    the aggregation tree; the root block samples two-sided geometric noise
    inside MPC (Dwork-style bit sampler) and reveals only the noised sum.
 
-All network traffic is metered per node; timings are recorded per phase.
-The engine is a faithful simulation: every byte it reports corresponds to
-a protocol message of the real deployment.
+All network traffic is metered per node *and per directed link*; timings
+are recorded per phase. The engine is a faithful simulation: every byte it
+reports corresponds to a protocol message of the real deployment.
+
+Two drivers share the protocol code. :meth:`SecureEngine.run` is the
+historical sequential driver. :meth:`SecureEngine.run_async` walks the
+*same* crypto operations in the *same* order (every
+:meth:`~repro.crypto.rng.DeterministicRNG.fork` consumes parent stream, so
+the order of crypto work is the transcript — reordering it would change
+every share), but hands each finished block batch — a GMW evaluation's
+OT-extension bits, a transfer's aggregates — to a
+:class:`~repro.core.rounds.SecureRoundScheduler` that conveys the bytes
+over a :class:`~repro.core.transport.Transport` while later blocks are
+still computing. Released outputs are bit-identical between the two
+drivers by construction; only wall-clock and the bus's own metering move.
 """
 
 from __future__ import annotations
@@ -28,7 +40,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.aggregation import AggregationPlan, plan_groups, reshare_word
 from repro.core.config import DStressConfig
@@ -36,7 +48,9 @@ from repro.core.convergence import DEFAULT_TOLERANCE, convergence_index
 from repro.core.graph import DistributedGraph
 from repro.core.node import SimulatedNode
 from repro.core.program import NO_OP_MESSAGE, VertexProgram
+from repro.core.rounds import SecureRoundScheduler
 from repro.core.setup import AGGREGATION_BLOCK_ID, BlockAssignment, TrustedParty
+from repro.core.transport import Transport
 from repro.crypto.elgamal import ExponentialElGamal
 from repro.crypto.ot import SimulatedObliviousTransfer
 from repro.crypto.rng import DeterministicRNG
@@ -54,6 +68,19 @@ from repro.simulation.netsim import PhaseTimer, TrafficMeter
 from repro.transfer.protocol import MessageTransferProtocol
 
 __all__ = ["SecureRunResult", "SecureEngine"]
+
+#: Ordered directed link with a byte payload: the unit the transport
+#: conveys for the secure path.
+LinkBytes = Dict[Tuple[int, int], float]
+
+
+def _record_link(
+    meter: TrafficMeter, link_bytes: LinkBytes, src: int, dst: int, num_bytes: float
+) -> None:
+    """Meter one directed send and accumulate it into a batch's link map."""
+    meter.record_send(src, dst, num_bytes)
+    key = (src, dst)
+    link_bytes[key] = link_bytes.get(key, 0.0) + num_bytes
 
 
 @dataclass
@@ -96,6 +123,35 @@ class SecureRunResult:
         return convergence_index(self.trajectory, tolerance)
 
 
+@dataclass
+class _RunContext:
+    """Mutable state of one execution, shared by the two drivers.
+
+    Built once by :meth:`SecureEngine._begin_run`; the sync and async
+    drivers both walk the same context through the same step generators,
+    which is what makes their transcripts — and therefore their released
+    outputs — bit-identical.
+    """
+
+    graph: DistributedGraph
+    iterations: int
+    nodes: Dict[int, SimulatedNode]
+    assignment: BlockAssignment
+    vertex_bound: Dict[int, int]
+    circuits: Dict[int, object]
+    circuit_and_gates: int
+    gmw: GMWEngine
+    state_shares: Dict[int, Dict[str, List[int]]]
+    inbox_shares: Dict[int, List[List[int]]]
+    outbox_shares: Dict[int, List[List[int]]] = field(default_factory=dict)
+    meter: TrafficMeter = field(default_factory=TrafficMeter)
+    phases: PhaseTimer = field(default_factory=PhaseTimer)
+    rng: DeterministicRNG = field(default_factory=DeterministicRNG)
+    trajectory: List[float] = field(default_factory=list)
+    total_ots: int = 0
+    transfer_count: int = 0
+
+
 class SecureEngine:
     """Executes vertex programs under the full DStress protocol stack."""
 
@@ -122,7 +178,7 @@ class SecureEngine:
         accountant: Optional[PrivacyAccountant] = None,
         bucket_bounds: Optional[List[int]] = None,
     ) -> SecureRunResult:
-        """Execute the program for ``iterations`` rounds.
+        """Execute the program for ``iterations`` rounds (sequential driver).
 
         ``bucket_bounds`` enables the §3.7 degree-bucket optimization:
         instead of padding every vertex's circuit to the global degree
@@ -131,6 +187,88 @@ class SecureEngine:
         roughly its size class, which the paper notes is acceptable — in
         exchange for much cheaper MPC steps at low-degree vertices.
         """
+        ctx = self._begin_run(graph, iterations, accountant, bucket_bounds)
+        for _step in range(iterations):
+            started = time.perf_counter()
+            for _batch in self._computation_blocks(ctx):
+                pass
+            ctx.phases.add("computation", time.perf_counter() - started)
+            ctx.trajectory.append(self._simulated_aggregate(graph, ctx.state_shares))
+            started = time.perf_counter()
+            for _batch in self._communication_transfers(ctx):
+                pass
+            ctx.phases.add("communication", time.perf_counter() - started)
+        # Final computation step (§3.6).
+        started = time.perf_counter()
+        for _batch in self._computation_blocks(ctx):
+            pass
+        ctx.phases.add("computation", time.perf_counter() - started)
+        ctx.trajectory.append(self._simulated_aggregate(graph, ctx.state_shares))
+        return self._finish_run(ctx)
+
+    async def run_async(
+        self,
+        graph: DistributedGraph,
+        iterations: int,
+        transport: Transport,
+        accountant: Optional[PrivacyAccountant] = None,
+        bucket_bounds: Optional[List[int]] = None,
+        max_tasks: Optional[int] = None,
+        overlap: bool = True,
+    ) -> SecureRunResult:
+        """Execute the protocol with its rounds scheduled over ``transport``.
+
+        Identical crypto, identical order, identical released outputs to
+        :meth:`run` — the difference is that every block batch's bytes are
+        dispatched through the bus (overlapping OT computation of later
+        blocks with in-flight deliveries when ``overlap=True``), and a
+        faulted delivery raises a
+        :class:`~repro.exceptions.TransportError` at the step barrier
+        instead of silently sharing a dict. ``max_tasks`` bounds the
+        number of batch deliveries in flight.
+        """
+        transport.open(graph, fill=None)
+        scheduler = SecureRoundScheduler(transport, max_tasks=max_tasks, overlap=overlap)
+        ctx = self._begin_run(graph, iterations, accountant, bucket_bounds)
+        try:
+            for step in range(iterations):
+                started = time.perf_counter()
+                for batch in self._computation_blocks(ctx):
+                    await scheduler.dispatch(batch, step, kind="ot")
+                await scheduler.barrier()
+                ctx.phases.add("computation", time.perf_counter() - started)
+                ctx.trajectory.append(self._simulated_aggregate(graph, ctx.state_shares))
+                started = time.perf_counter()
+                for batch in self._communication_transfers(ctx):
+                    await scheduler.dispatch(batch, step, kind="transfer")
+                await scheduler.barrier()
+                ctx.phases.add("communication", time.perf_counter() - started)
+            # Final computation step (§3.6).
+            started = time.perf_counter()
+            for batch in self._computation_blocks(ctx):
+                await scheduler.dispatch(batch, iterations, kind="ot")
+            await scheduler.barrier()
+            ctx.phases.add("computation", time.perf_counter() - started)
+        except BaseException:
+            # unwinding past in-flight deliveries would leak their tasks
+            # (and log any sibling faults as never-retrieved); consume
+            # them before the real traceback propagates
+            await scheduler.drain()
+            raise
+        ctx.trajectory.append(self._simulated_aggregate(graph, ctx.state_shares))
+        return self._finish_run(ctx)
+
+    # --------------------------------------------------------- run phases --
+
+    def _begin_run(
+        self,
+        graph: DistributedGraph,
+        iterations: int,
+        accountant: Optional[PrivacyAccountant],
+        bucket_bounds: Optional[List[int]],
+    ) -> _RunContext:
+        """Setup + initialization (§3.4, §3.6 init): everything before the
+        first computation step, identical for both drivers."""
         config = self.config
         program = self.program
         fmt = program.fmt
@@ -198,45 +336,42 @@ class SecureEngine:
                 self._meter_share_distribution(meter, v, assignment.blocks[v], word_bytes)
         phases.add("initialization", time.perf_counter() - started)
 
-        # ------------------------------------------------- main iterations --
         circuits = {
             bound: program.build_update_circuit(bound)
             for bound in sorted(set(vertex_bound.values()))
         }
-        circuit_stats = circuits[max(circuits)].stats()
         gmw = GMWEngine(
             block_size,
             ot=SimulatedObliviousTransfer(config.group),
             mode=config.gmw_mode,
         )
-        total_ots = 0
-        transfer_count = 0
-        trajectory: List[float] = []
-
-        outbox_shares: Dict[int, List[List[int]]] = {}
-        for step in range(iterations):
-            total_ots += self._computation_step(
-                graph, gmw, circuits, vertex_bound, state_shares, inbox_shares,
-                outbox_shares, assignment, meter, phases, rng,
-            )
-            trajectory.append(self._simulated_aggregate(graph, state_shares))
-            transfer_count += self._communication_step(
-                graph, nodes, assignment, vertex_bound, inbox_shares,
-                outbox_shares, meter, phases, rng,
-            )
-        # Final computation step (§3.6).
-        total_ots += self._computation_step(
-            graph, gmw, circuits, vertex_bound, state_shares, inbox_shares,
-            outbox_shares, assignment, meter, phases, rng,
+        return _RunContext(
+            graph=graph,
+            iterations=iterations,
+            nodes=nodes,
+            assignment=assignment,
+            vertex_bound=vertex_bound,
+            circuits=circuits,
+            circuit_and_gates=circuits[max(circuits)].stats().and_gates,
+            gmw=gmw,
+            state_shares=state_shares,
+            inbox_shares=inbox_shares,
+            meter=meter,
+            phases=phases,
+            rng=rng,
         )
-        trajectory.append(self._simulated_aggregate(graph, state_shares))
 
-        # ------------------------------------------------- aggregation --
+    def _finish_run(self, ctx: _RunContext) -> SecureRunResult:
+        """Aggregation + noising + result assembly, identical for both
+        drivers (the aggregation tree is one final phase, not a round)."""
+        config = self.config
+        fmt = self.program.fmt
+        bits = fmt.total_bits
         started = time.perf_counter()
         noisy_raw, pre_noise_raw, levels = self._aggregate_and_noise(
-            graph, gmw, state_shares, assignment, meter, rng
+            ctx.graph, ctx.gmw, ctx.state_shares, ctx.assignment, ctx.meter, ctx.rng
         )
-        phases.add("aggregation", time.perf_counter() - started)
+        ctx.phases.add("aggregation", time.perf_counter() - started)
 
         edge_eps = None
         if config.edge_noise_alpha is not None:
@@ -248,18 +383,18 @@ class SecureEngine:
             noisy_output=noisy_raw * fmt.resolution,
             pre_noise_output=pre_noise_raw * fmt.resolution,
             noise_raw=noisy_raw - pre_noise_raw,
-            iterations=iterations,
-            traffic=meter,
-            phases=phases,
-            num_vertices=graph.num_vertices,
-            num_edges=graph.num_edges,
-            transfer_count=transfer_count,
-            gmw_ot_count=total_ots,
-            gmw_and_gates_per_step=circuit_stats.and_gates,
+            iterations=ctx.iterations,
+            traffic=ctx.meter,
+            phases=ctx.phases,
+            num_vertices=ctx.graph.num_vertices,
+            num_edges=ctx.graph.num_edges,
+            transfer_count=ctx.transfer_count,
+            gmw_ot_count=ctx.total_ots,
+            gmw_and_gates_per_step=ctx.circuit_and_gates,
             output_epsilon=config.output_epsilon,
             edge_epsilon_per_iteration=edge_eps,
             aggregation_levels=levels,
-            trajectory=trajectory,
+            trajectory=ctx.trajectory,
         )
 
     # ------------------------------------------------------------ phases --
@@ -312,131 +447,109 @@ class SecureEngine:
             if member != src:
                 meter.record_send(src, member, word_bytes)
 
-    def _computation_step(
-        self,
-        graph: DistributedGraph,
-        gmw: GMWEngine,
-        circuits,
-        vertex_bound,
-        state_shares,
-        inbox_shares,
-        outbox_shares,
-        assignment: BlockAssignment,
-        meter: TrafficMeter,
-        phases: PhaseTimer,
-        rng: DeterministicRNG,
-    ) -> int:
-        """One §3.6 computation step: GMW per vertex block."""
-        started = time.perf_counter()
-        ots = 0
-        for view in graph.vertices():
+    def _computation_blocks(self, ctx: _RunContext) -> Iterator[LinkBytes]:
+        """One §3.6 computation step, block by block.
+
+        Evaluates each vertex block's update circuit under GMW (in vertex
+        order — the transcript order) and yields the block's OT batch as
+        per-link bytes *after* metering it, so a driver can overlap the
+        delivery of block ``b`` with the evaluation of block ``b + 1``
+        simply by consuming the generator one item at a time.
+        """
+        gmw = ctx.gmw
+        meter = ctx.meter
+        for view in ctx.graph.vertices():
             v = view.vertex_id
-            bound = vertex_bound[v]
+            bound = ctx.vertex_bound[v]
             registers = self.program.state_registers(bound)
-            shared_inputs = dict(state_shares[v])
+            shared_inputs = dict(ctx.state_shares[v])
             for slot in range(bound):
-                shared_inputs[f"msg_in_{slot}"] = inbox_shares[v][slot]
-            result = gmw.evaluate(circuits[bound], shared_inputs, rng)
-            state_shares[v] = {reg: result.output_shares[reg] for reg in registers}
-            outbox_shares[v] = [
+                shared_inputs[f"msg_in_{slot}"] = ctx.inbox_shares[v][slot]
+            result = gmw.evaluate(ctx.circuits[bound], shared_inputs, ctx.rng)
+            ctx.state_shares[v] = {reg: result.output_shares[reg] for reg in registers}
+            ctx.outbox_shares[v] = [
                 result.output_shares[f"msg_out_{slot}"] for slot in range(bound)
             ]
-            members = assignment.blocks[v]
+            members = ctx.assignment.blocks[v]
+            link_bytes = self._meter_gmw(meter, members, result)
             per_member_ots = result.traffic.ot_count // max(1, len(members))
-            for p, member in enumerate(members):
-                meter.node(member).bytes_sent += result.traffic.sent_bits[p] / 8.0
-                meter.node(member).bytes_received += result.traffic.received_bits[p] / 8.0
-                meter.node(member).gmw_evaluations += 1
+            for member in members:
                 meter.node(member).ot_transfers += per_member_ots
-            ots += result.traffic.ot_count
-        phases.add("computation", time.perf_counter() - started)
-        return ots
+            ctx.total_ots += result.traffic.ot_count
+            yield link_bytes
 
-    def _communication_step(
-        self,
-        graph: DistributedGraph,
-        nodes: Dict[int, SimulatedNode],
-        assignment: BlockAssignment,
-        vertex_bound,
-        inbox_shares,
-        outbox_shares,
-        meter: TrafficMeter,
-        phases: PhaseTimer,
-        rng: DeterministicRNG,
-    ) -> int:
-        """One §3.6 communication step: §3.5 transfer per directed edge."""
-        started = time.perf_counter()
+    def _communication_transfers(self, ctx: _RunContext) -> Iterator[LinkBytes]:
+        """One §3.6 communication step, transfer by transfer.
+
+        Executes the §3.5 protocol for each directed edge (in vertex/slot
+        order — again the transcript order) and yields each transfer's
+        wire bytes at link granularity. Local no-op padding (the cheap
+        non-``pad_transfers`` mode) stays inside the generator: it moves
+        share words between block members but is not an edge transfer.
+        """
         config = self.config
         fmt = self.program.fmt
-        transfers = 0
+        graph = ctx.graph
         for view in graph.vertices():
             u = view.vertex_id
             for out_slot, v in enumerate(view.out_neighbors):
                 in_slot = graph.vertex(v).in_slot(u)
-                certificate = nodes[u].neighbor_certificates[v]
-                neighbor_key = nodes[v].neighbor_keys[in_slot]
-                receiver_members = assignment.blocks[v]
-                receiver_keys = [nodes[m].member_keys for m in receiver_members]
+                certificate = ctx.nodes[u].neighbor_certificates[v]
+                neighbor_key = ctx.nodes[v].neighbor_keys[in_slot]
+                receiver_members = ctx.assignment.blocks[v]
+                receiver_keys = [ctx.nodes[m].member_keys for m in receiver_members]
                 result = self.transfer.execute(
-                    outbox_shares[u][out_slot],
+                    ctx.outbox_shares[u][out_slot],
                     certificate,
                     neighbor_key,
                     receiver_keys,
-                    rng,
+                    ctx.rng,
                 )
-                inbox_shares[v][in_slot] = result.receiver_shares
-                self._meter_transfer(meter, u, v, assignment, result.traffic)
-                transfers += 1
+                ctx.inbox_shares[v][in_slot] = result.receiver_shares
+                ctx.transfer_count += 1
+                yield self._meter_transfer(ctx.meter, u, v, ctx.assignment, result.traffic)
             if config.pad_transfers:
-                transfers += self._padded_self_transfers(
-                    graph, nodes, assignment, vertex_bound, inbox_shares, meter,
-                    view, rng
-                )
+                yield from self._padded_self_transfers(ctx, view)
             else:
                 # Unused inbox slots revert to fresh no-op shares from the
                 # owner (cheap local padding; see DESIGN.md).
                 raw_no_op = fmt.to_unsigned(fmt.encode(NO_OP_MESSAGE))
-                for slot in range(view.in_degree, vertex_bound[view.vertex_id]):
-                    inbox_shares[view.vertex_id][slot] = share_value(
-                        raw_no_op, fmt.total_bits, config.block_size, rng
+                for slot in range(view.in_degree, ctx.vertex_bound[view.vertex_id]):
+                    ctx.inbox_shares[view.vertex_id][slot] = share_value(
+                        raw_no_op, fmt.total_bits, config.block_size, ctx.rng
                     )
                     self._meter_share_distribution(
-                        meter,
+                        ctx.meter,
                         view.vertex_id,
-                        assignment.blocks[view.vertex_id],
+                        ctx.assignment.blocks[view.vertex_id],
                         (fmt.total_bits + 7) / 8.0,
                     )
-        phases.add("communication", time.perf_counter() - started)
-        return transfers
 
-    def _padded_self_transfers(
-        self, graph, nodes, assignment, vertex_bound, inbox_shares, meter, view, rng
-    ) -> int:
+    def _padded_self_transfers(self, ctx: _RunContext, view) -> Iterator[LinkBytes]:
         """Run full no-op transfers on unused slots (degree hiding)."""
         config = self.config
         fmt = self.program.fmt
         v = view.vertex_id
-        count = 0
-        for slot in range(view.in_degree, vertex_bound[v]):
-            certificate = nodes[v].neighbor_certificates.get(("self", slot))
+        for slot in range(view.in_degree, ctx.vertex_bound[v]):
+            certificate = ctx.nodes[v].neighbor_certificates.get(("self", slot))
             if certificate is None:
                 # Leftover certificate for this slot, retained by the owner.
-                certificate = self._own_certificate(nodes, assignment, v, slot)
-                nodes[v].neighbor_certificates[("self", slot)] = certificate
+                certificate = self._own_certificate(ctx.nodes, ctx.assignment, v, slot)
+                ctx.nodes[v].neighbor_certificates[("self", slot)] = certificate
             shares = share_value(
                 fmt.to_unsigned(fmt.encode(NO_OP_MESSAGE)),
                 fmt.total_bits,
                 config.block_size,
-                rng,
+                ctx.rng,
             )
-            receiver_keys = [nodes[m].member_keys for m in assignment.blocks[v]]
+            receiver_keys = [ctx.nodes[m].member_keys for m in ctx.assignment.blocks[v]]
             result = self.transfer.execute(
-                shares, certificate, nodes[v].neighbor_keys[slot], receiver_keys, rng
+                shares, certificate, ctx.nodes[v].neighbor_keys[slot], receiver_keys,
+                ctx.rng,
             )
-            inbox_shares[v][slot] = result.receiver_shares
-            self._meter_transfer(meter, v, v, assignment, result.traffic)
-            count += 1
-        return count
+            ctx.inbox_shares[v][slot] = result.receiver_shares
+            ctx.transfer_count += 1
+            yield self._meter_transfer(ctx.meter, v, v, ctx.assignment, result.traffic)
 
     def _own_certificate(self, nodes, assignment, v: int, slot: int):
         """Rebuild the leftover certificate for slot ``slot`` of node ``v``.
@@ -465,16 +578,18 @@ class SecureEngine:
 
     def _meter_transfer(
         self, meter: TrafficMeter, u: int, v: int, assignment: BlockAssignment, traffic
-    ) -> None:
-        """Distribute §5.3 role traffic onto the simulated nodes."""
+    ) -> LinkBytes:
+        """Distribute §5.3 role traffic onto the simulated nodes; returns
+        the same traffic as per-link bytes for the transport dispatch."""
+        link_bytes: LinkBytes = {}
         for member in assignment.blocks[u]:
             if member != u:
-                meter.record_send(member, u, traffic.sender_member_bytes)
+                _record_link(meter, link_bytes, member, u, traffic.sender_member_bytes)
         if u != v:
-            meter.record_send(u, v, traffic.node_u_sent_bytes)
+            _record_link(meter, link_bytes, u, v, traffic.node_u_sent_bytes)
         for member in assignment.blocks[v]:
             if member != v:
-                meter.record_send(v, member, traffic.receiver_member_bytes)
+                _record_link(meter, link_bytes, v, member, traffic.receiver_member_bytes)
         # Exponentiation counts per role (cost model input).
         bits = traffic.message_bits
         for member in assignment.blocks[u]:
@@ -483,6 +598,7 @@ class SecureEngine:
         meter.node(v).exponentiations += traffic.block_size  # adjust
         for member in assignment.blocks[v]:
             meter.node(member).exponentiations += bits  # decryption
+        return link_bytes
 
     # -------------------------------------------------------- aggregation --
 
@@ -500,7 +616,6 @@ class SecureEngine:
         program = self.program
         fmt = program.fmt
         bits = fmt.total_bits
-        word_bytes = (bits + 7) / 8.0
         block_size = config.block_size
 
         plan = AggregationPlan(
@@ -587,8 +702,19 @@ class SecureEngine:
                     meter.record_send(member, other, (out_width + 7) / 8.0)
         return noised_raw, pre_noise_raw, levels
 
-    def _meter_gmw(self, meter: TrafficMeter, members: List[int], result) -> None:
-        for p, member in enumerate(members):
-            meter.node(member).bytes_sent += result.traffic.sent_bits[p] / 8.0
-            meter.node(member).bytes_received += result.traffic.received_bits[p] / 8.0
+    def _meter_gmw(self, meter: TrafficMeter, members: List[int], result) -> LinkBytes:
+        """Attribute a GMW evaluation's wire traffic to the member nodes.
+
+        Uses the engine's per-ordered-pair accounting
+        (:attr:`~repro.mpc.gmw.GMWTraffic.pair_bits`), so every OT-extension
+        byte lands on a directed *link* between two real block members —
+        node totals are unchanged (the pair map sums to the per-party
+        totals by construction) but link-level hot spots become visible
+        and the secure-async driver can dispatch the returned map.
+        """
+        link_bytes: LinkBytes = {}
+        for (i, j), pair_bytes in result.traffic.pair_bytes().items():
+            _record_link(meter, link_bytes, members[i], members[j], pair_bytes)
+        for member in members:
             meter.node(member).gmw_evaluations += 1
+        return link_bytes

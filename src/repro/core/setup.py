@@ -19,7 +19,7 @@ code path that accepts edge information.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.crypto.elgamal import ExponentialElGamal

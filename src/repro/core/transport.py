@@ -14,7 +14,10 @@ travels:
   async engine schedules vertex tasks over. ``gather_round`` *is* the
   round barrier: a vertex's round-``r`` gather resolves exactly when all
   of its expected round-``r`` messages have been delivered (or accounted
-  as faulted), never earlier.
+  as faulted), never earlier. A third path, :meth:`~Transport.convey`,
+  carries slot-less cryptographic payloads (GMW OT-extension batches, §3.5
+  transfer aggregates) for the secure engine's rounds — same link model,
+  byte counts instead of values.
 * :class:`InMemoryTransport` — the reference path. Zero-delay, in-order
   per slot, bit-identical to the historical dict shuffle; every engine
   that claims parity with ``plaintext`` runs over this.
@@ -155,6 +158,26 @@ class Transport(ABC):
         delay before handing off to :meth:`_deliver`.
         """
         self._deliver(src, dst, in_slot, payload, round_index)
+
+    async def convey(
+        self, src: int, dst: int, num_bytes: float, round_index: int, kind: str = "crypto"
+    ) -> None:
+        """Carry ``num_bytes`` of cryptographic payload over ``src -> dst``.
+
+        This is the bus's side-channel for protocol traffic that has no
+        in-slot — a block's GMW OT-extension batch, a §3.5 transfer's
+        subshare aggregates — where the *values* are computed by the
+        protocol simulation and only the *bytes* travel. The reference bus
+        carries them instantly; :class:`SimulatedWanTransport` meters the
+        bytes into its per-link accounting and awaits the payload-scaled
+        link delay (latency + ``num_bytes / bandwidth``), which is what
+        the secure-async engine overlaps OT computation against; and
+        :class:`FaultInjectingTransport` raises a
+        :class:`~repro.exceptions.TransportError` for faulted deliveries
+        instead of hanging the round. ``kind`` names the payload class in
+        fault messages (``"ot"`` / ``"transfer"``).
+        """
+        return None
 
     async def gather_round(self, vertex_id: int, round_index: int) -> List[Any]:
         """Await and return ``vertex_id``'s complete round inbox.
@@ -302,8 +325,13 @@ class SimulatedWanTransport(InMemoryTransport):
             realtime=realtime,
         )
 
-    def link_delay(self, src: int, dst: int) -> float:
-        """Deterministic one-way delay of the directed link ``src -> dst``."""
+    def link_delay(self, src: int, dst: int, num_bytes: Optional[float] = None) -> float:
+        """Deterministic one-way delay of the directed link ``src -> dst``.
+
+        ``num_bytes`` overrides the default per-message payload size for
+        serialization-delay purposes (used by :meth:`convey`, whose crypto
+        payloads are much larger than one round message).
+        """
         factor = self._link_factors.get((src, dst))
         if factor is None:
             rng = DeterministicRNG(f"wan-link|{self.seed}|{src}|{dst}")
@@ -311,7 +339,8 @@ class SimulatedWanTransport(InMemoryTransport):
             self._link_factors[(src, dst)] = factor
         delay = self.latency_seconds * factor
         if self.bandwidth_bytes is not None:
-            delay += self.message_bytes / self.bandwidth_bytes
+            payload = self.message_bytes if num_bytes is None else num_bytes
+            delay += payload / self.bandwidth_bytes
         return delay
 
     def _account(self, src: int, dst: int) -> float:
@@ -330,6 +359,13 @@ class SimulatedWanTransport(InMemoryTransport):
         if self.realtime and delay > 0:
             await asyncio.sleep(delay)
         self._deliver(src, dst, in_slot, payload, round_index)
+
+    async def convey(self, src, dst, num_bytes, round_index, kind="crypto"):
+        delay = self.link_delay(src, dst, num_bytes=num_bytes)
+        self.simulated_seconds += delay
+        self.meter.record_send(src, dst, num_bytes)
+        if self.realtime and delay > 0:
+            await asyncio.sleep(delay)
 
 
 class FaultInjectingTransport(InMemoryTransport):
@@ -401,6 +437,22 @@ class FaultInjectingTransport(InMemoryTransport):
         self._deliver(src, dst, in_slot, payload, round_index)
         if (src, dst, round_index) in self.duplicate:
             self._deliver(src, dst, in_slot, payload, round_index)
+
+    async def convey(self, src, dst, num_bytes, round_index, kind="crypto"):
+        # crypto payloads have no in-slot and no gather barrier, so both
+        # fault classes raise right here in the conveying task — the
+        # secure round scheduler's barrier propagates the error instead
+        # of waiting forever on bytes that will never (or twice) arrive
+        if (src, dst, round_index) in self.drop:
+            raise TransportError(
+                f"round {round_index}: {kind} delivery {src}->{dst} was dropped"
+            )
+        if (src, dst, round_index) in self.duplicate:
+            raise TransportError(
+                f"round {round_index}: duplicate {kind} delivery {src}->{dst} "
+                "(crypto payloads are one-shot; a replay would desynchronize "
+                "the protocol transcript)"
+            )
 
 
 #: String specs accepted anywhere a transport can be named.

@@ -18,7 +18,7 @@ interaction rounds (= AND depth), which feed the cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.ot import ObliviousTransfer, SimulatedObliviousTransfer
 from repro.crypto.rng import DeterministicRNG
@@ -31,19 +31,43 @@ __all__ = ["GMWEngine", "GMWResult", "GMWTraffic"]
 
 @dataclass
 class GMWTraffic:
-    """Per-party and aggregate traffic/interaction statistics for one run."""
+    """Per-party and aggregate traffic/interaction statistics for one run.
+
+    Beyond the historical per-party totals, every bit on the wire is also
+    attributed to its ordered *pair* ``(sender party, receiver party)`` —
+    the granularity a block's OT-extension batch actually travels at. The
+    pair view is what the secure-async scheduler dispatches over the
+    transport bus, and what the :class:`~repro.simulation.netsim.TrafficMeter`
+    records as per-link bytes; by construction
+    ``sum_j pair_bits[(i, j)] == sent_bits[i]`` for every party ``i``.
+    """
 
     num_parties: int
     sent_bits: List[int] = field(default_factory=list)
     received_bits: List[int] = field(default_factory=list)
     ot_count: int = 0
     rounds: int = 0
+    #: Wire bits per ordered party pair: ``pair_bits[(i, j)]`` is what
+    #: party ``i`` put on the wire addressed to party ``j``.
+    pair_bits: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.sent_bits:
             self.sent_bits = [0] * self.num_parties
         if not self.received_bits:
             self.received_bits = [0] * self.num_parties
+
+    def add_pair(self, sender: int, receiver: int, bits: int) -> None:
+        """Account ``bits`` travelling from ``sender`` to ``receiver``
+        (updates the pair map and both per-party totals consistently)."""
+        self.sent_bits[sender] += bits
+        self.received_bits[receiver] += bits
+        key = (sender, receiver)
+        self.pair_bits[key] = self.pair_bits.get(key, 0) + bits
+
+    def pair_bytes(self) -> Dict[Tuple[int, int], float]:
+        """Bytes per ordered party pair — the block's OT batch, link by link."""
+        return {pair: bits / 8.0 for pair, bits in self.pair_bits.items()}
 
     @property
     def total_bytes(self) -> float:
@@ -226,10 +250,8 @@ class GMWEngine:
                 z[i] ^= r
                 z[j] ^= received
                 traffic.ot_count += 1
-                traffic.sent_bits[i] += sender_bits
-                traffic.sent_bits[j] += receiver_bits
-                traffic.received_bits[j] += sender_bits
-                traffic.received_bits[i] += receiver_bits
+                traffic.add_pair(i, j, sender_bits)
+                traffic.add_pair(j, i, receiver_bits)
         return z
 
     def _and_via_beaver(
@@ -257,8 +279,9 @@ class GMWEngine:
             d ^= x[p] ^ a[p]
             e ^= y[p] ^ b[p]
             # Each party broadcasts its two mask bits to the other n-1.
-            traffic.sent_bits[p] += 2 * (n - 1)
-            traffic.received_bits[p] += 2 * (n - 1)
+            for q in range(n):
+                if q != p:
+                    traffic.add_pair(p, q, 2)
         z = [c[p] ^ (d & b[p]) ^ (e & a[p]) for p in range(n)]
         z[0] ^= d & e
         return z

@@ -10,9 +10,9 @@ wall-clock artifacts of the simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["NodeStats", "TrafficMeter", "PhaseTimer"]
+__all__ = ["NodeStats", "TrafficMeter", "PhaseTimer", "WanProjection", "project_wan_seconds"]
 
 
 @dataclass
@@ -58,6 +58,10 @@ class TrafficMeter:
         """Total bytes carried by the directed link ``src -> dst``."""
         return self._links.get((src, dst), 0.0)
 
+    def links(self) -> Dict[Tuple[int, int], float]:
+        """All directed links with their carried bytes (a copy)."""
+        return dict(self._links)
+
     @property
     def num_links(self) -> int:
         """Distinct directed links that carried at least one message."""
@@ -98,6 +102,68 @@ class TrafficMeter:
             "total_exponentiations": sum(s.exponentiations for s in self._stats.values()),
             "total_ot_transfers": sum(s.ot_transfers for s in self._stats.values()),
         }
+
+
+@dataclass(frozen=True)
+class WanProjection:
+    """What a metered run would cost on a WAN, from its per-link bytes.
+
+    ``sequential_seconds`` is the straight-line deployment: every link's
+    payload is waited for one after the other (one latency hit plus the
+    serialization time per link). ``overlapped_seconds`` is the schedule
+    the async engines implement: all links run concurrently, but each
+    *node's* egress is serialized (a NIC sends one byte at a time), so the
+    bound is the busiest sender's total serialization time plus one
+    latency. The gap between the two is the headroom the paper's §6
+    communication-bound claim rests on.
+    """
+
+    sequential_seconds: float
+    overlapped_seconds: float
+    total_bytes: float
+    num_links: int
+
+    @property
+    def overlap_speedup(self) -> float:
+        if self.overlapped_seconds <= 0.0:
+            return 1.0
+        return self.sequential_seconds / self.overlapped_seconds
+
+
+def project_wan_seconds(
+    meter: TrafficMeter,
+    latency_seconds: float,
+    bandwidth_bytes: Optional[float] = None,
+) -> WanProjection:
+    """Project a metered run's wire time onto a WAN model.
+
+    Feeds on the meter's per-link attribution — which, since the secure
+    engine meters GMW traffic pairwise, includes every OT-extension byte —
+    so the projection covers the crypto traffic that dominates §6, not
+    just the round messages. ``bandwidth_bytes=None`` models unconstrained
+    links (latency only).
+    """
+    if latency_seconds < 0:
+        raise ValueError("latency cannot be negative")
+    if bandwidth_bytes is not None and bandwidth_bytes <= 0:
+        raise ValueError("bandwidth must be positive (or None)")
+    links = meter.links()
+    total_bytes = sum(links.values())
+
+    def serialization(num_bytes: float) -> float:
+        return 0.0 if bandwidth_bytes is None else num_bytes / bandwidth_bytes
+
+    sequential = sum(latency_seconds + serialization(b) for b in links.values())
+    egress: Dict[int, float] = {}
+    for (src, _dst), num_bytes in links.items():
+        egress[src] = egress.get(src, 0.0) + serialization(num_bytes)
+    overlapped = (latency_seconds if links else 0.0) + max(egress.values(), default=0.0)
+    return WanProjection(
+        sequential_seconds=sequential,
+        overlapped_seconds=overlapped,
+        total_bytes=total_bytes,
+        num_links=len(links),
+    )
 
 
 @dataclass

@@ -10,12 +10,37 @@ curves directly.
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
 
 from repro.crypto.elgamal import ExponentialElGamal
 from repro.crypto.group import TOY_GROUP_64
 from repro.crypto.rng import DeterministicRNG
 from repro.finance.network import Bank, FinancialNetwork
 from repro.mpc.fixedpoint import FixedPointFormat
+
+# Hypothesis budgets: the per-push default keeps tier-1 fast; the nightly
+# workflow selects the deep profile with ``--hypothesis-profile=nightly``
+# (10x the example budget, no deadline — crypto strategies can be slow
+# per example without being wrong).
+_BASE_EXAMPLES = 100
+settings.register_profile("default", max_examples=_BASE_EXAMPLES)
+settings.register_profile("nightly", max_examples=10 * _BASE_EXAMPLES, deadline=None)
+settings.load_profile("default")
+
+
+def scale(max_examples: int) -> int:
+    """A test's example budget under the active hypothesis profile.
+
+    Property tests pin per-test budgets tuned to their example cost
+    (crypto tests run few expensive examples, fixed-point tests many cheap
+    ones). An explicit ``max_examples`` would silently override the
+    profile, so pins go through this helper: it preserves the tuned
+    *ratios* while letting ``--hypothesis-profile=nightly`` scale every
+    budget up together. Evaluated at decoration time — after the pytest
+    plugin has loaded the CLI-selected profile, since conftest import
+    precedes test module import.
+    """
+    return max(1, int(max_examples * settings.default.max_examples / _BASE_EXAMPLES))
 
 
 @pytest.fixture

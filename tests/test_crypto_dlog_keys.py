@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.dlog import BabyStepGiantStep, DlogTable
 from repro.crypto.group import TOY_GROUP_64
 from repro.crypto.keys import SchnorrSigner
@@ -38,7 +40,7 @@ class TestDlogTable:
             DlogTable(TOY_GROUP_64, half_width=-1)
 
     @given(st.integers(min_value=-200, max_value=200))
-    @settings(max_examples=30)
+    @settings(max_examples=scale(30))
     def test_agrees_with_bsgs(self, value):
         table = DlogTable(TOY_GROUP_64, half_width=200)
         bsgs = BabyStepGiantStep(TOY_GROUP_64, half_width=200)
@@ -86,7 +88,7 @@ class TestSchnorrSigner:
             signer.open(key.public, forged)
 
     @given(st.binary(max_size=256))
-    @settings(max_examples=20)
+    @settings(max_examples=scale(20))
     def test_arbitrary_payloads(self, payload):
         rng = DeterministicRNG(payload)
         signer = SchnorrSigner(TOY_GROUP_64)

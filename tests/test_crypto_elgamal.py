@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.dlog import BabyStepGiantStep
 from repro.crypto.ec import P256
 from repro.crypto.elgamal import CountingGroup, ElGamal, ExponentialElGamal
@@ -52,7 +54,7 @@ class TestBasicElGamal:
 
 class TestExponentialElGamal:
     @given(st.integers(min_value=-500, max_value=500))
-    @settings(max_examples=25)
+    @settings(max_examples=scale(25))
     def test_int_roundtrip(self, value):
         rng = DeterministicRNG(value)
         eg = ExponentialElGamal(TOY_GROUP_64, dlog_half_width=512)
@@ -185,7 +187,7 @@ class TestOverOtherGroups:
 
 class TestBabyStepGiantStep:
     @given(st.integers(min_value=-300, max_value=300))
-    @settings(max_examples=25)
+    @settings(max_examples=scale(25))
     def test_recovers_in_window(self, value):
         bsgs = BabyStepGiantStep(TOY_GROUP_64, half_width=300)
         assert bsgs.recover(TOY_GROUP_64.power_of_g(value)) == value

@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.group import (
     GROUP_160,
     GROUP_256,
@@ -48,7 +50,7 @@ class TestGroupLaws:
         )
 
     @given(st.integers(min_value=0, max_value=2**32))
-    @settings(max_examples=40)
+    @settings(max_examples=scale(40))
     def test_exp_reduces_mod_order(self, e):
         group = TOY_GROUP_64
         assert group.power_of_g(e) == group.power_of_g(e + group.order)

@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.group import TOY_GROUP_64
 from repro.crypto.ot import DDHObliviousTransfer, SimulatedObliviousTransfer
 from repro.crypto.ot_extension import IKNPOTExtension
@@ -44,7 +46,7 @@ class TestCorrectness:
             ot.transfer(b"a", b"b", 2, rng)
 
     @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
-    @settings(max_examples=20)
+    @settings(max_examples=scale(20))
     def test_ddh_ot_arbitrary_messages(self, m0, m1):
         if len(m0) != len(m1):
             m = min(len(m0), len(m1))

@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.rng import DeterministicRNG
 
 
@@ -128,7 +130,7 @@ class TestStatistics:
         assert 1800 < ones < 2200
 
     @given(st.integers(min_value=2, max_value=1000))
-    @settings(max_examples=30)
+    @settings(max_examples=scale(30))
     def test_randbelow_bound_property(self, bound):
         rng = DeterministicRNG(bound)
         for _ in range(10):

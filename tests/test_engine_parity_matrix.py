@@ -12,7 +12,12 @@ scale-free), all under a fixed seed:
   completion-order-independent state assembly both preserve the reference
   evaluation order;
 * the ``fixed`` backend must be bit-reproducible run-to-run and stay
-  within quantization distance of the float oracle.
+  within quantization distance of the float oracle;
+* the **secure column**: ``secure-async`` (the protocol scheduled over
+  the transport bus) must release outputs **bit-identical** to
+  ``secure`` — noise and all — in every cell. The secure cells run on
+  smaller graphs (full MPC per vertex per round) under the demo preset,
+  but still sweep both programs and both graph generators.
 
 Any future backend (remote, ...) earns its registry entry by joining
 this matrix.
@@ -127,3 +132,74 @@ def test_fixed_engine_reproducible_and_near_float(
     assert len(first.trajectory) == len(reference.trajectory)
     for fixed_point, float_point in zip(first.trajectory, reference.trajectory):
         assert abs(fixed_point - float_point) <= QUANTIZATION_TOLERANCE
+
+
+# ------------------------------------------------------- the secure column --
+
+#: Secure cells run full MPC per vertex per round, so they sweep smaller
+#: graphs than the float family — but still both programs x both
+#: generators, and the identity bar is *released* outputs, noise included.
+SECURE_ITERATIONS = 2
+
+
+def _small_core_periphery():
+    net = core_periphery_network(
+        CorePeripheryParams(num_banks=6, core_size=2), DeterministicRNG(11)
+    )
+    return apply_shock(net, uniform_shock(range(0, 2), 0.9, "core-shock"))
+
+
+def _small_scale_free():
+    net = scale_free_network(
+        ScaleFreeParams(num_banks=6, attach_links=1, degree_cap=3),
+        DeterministicRNG(12),
+    )
+    return apply_shock(net, uniform_shock(range(0, 2), 0.9, "hub-shock"))
+
+
+SECURE_GRAPHS = {
+    "core-periphery": _small_core_periphery,
+    "scale-free": _small_scale_free,
+}
+
+
+@pytest.fixture(scope="module")
+def secure_networks():
+    return {name: build() for name, build in SECURE_GRAPHS.items()}
+
+
+@pytest.fixture(scope="module")
+def secure_references(secure_networks):
+    """Per (program, graph) cell: the sequential secure release every
+    transport-scheduled run must reproduce bit-for-bit."""
+    references = {}
+    for program in PROGRAMS:
+        for graph_name, network in secure_networks.items():
+            references[(program, graph_name)] = (
+                StressTest(network)
+                .program(program)
+                .engine("secure")
+                .preset("demo")
+                .run(iterations=SECURE_ITERATIONS)
+            )
+    return references
+
+
+@pytest.mark.parametrize("program", PROGRAMS)
+@pytest.mark.parametrize("graph_name", sorted(SECURE_GRAPHS))
+def test_secure_async_releases_bit_identical(
+    secure_networks, secure_references, program, graph_name
+):
+    reference = secure_references[(program, graph_name)]
+    result = (
+        StressTest(secure_networks[graph_name])
+        .program(program)
+        .engine("secure-async", tasks=4)
+        .preset("demo")
+        .run(iterations=SECURE_ITERATIONS)
+    )
+    # the release itself: aggregate includes the in-MPC sampled noise
+    assert result.aggregate == reference.aggregate
+    assert result.noise_raw == reference.noise_raw
+    assert result.pre_noise_aggregate == reference.pre_noise_aggregate
+    assert result.trajectory == reference.trajectory

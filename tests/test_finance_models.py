@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.rng import DeterministicRNG
 from repro.exceptions import ConfigurationError, SensitivityError
 from repro.finance import (
@@ -98,7 +100,7 @@ class TestEisenbergNoe:
             assert 0.0 <= payment <= result.obligations[bank] + 1e-9
 
     @given(st.integers(min_value=0, max_value=2**32 - 1))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=scale(15), deadline=None)
     def test_shortfall_nonnegative_random_networks(self, seed):
         from repro.graphgen import RandomNetworkParams, random_network
 

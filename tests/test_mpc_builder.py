@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.exceptions import CircuitError
 from repro.mpc.builder import CircuitBuilder
 from repro.mpc.fixedpoint import FixedPointBuilder, FixedPointFormat
@@ -31,7 +33,7 @@ def to_signed(value, width=WORD):
 
 class TestAddSub:
     @given(words, words)
-    @settings(max_examples=60)
+    @settings(max_examples=scale(60))
     def test_add_wraps(self, a, b):
         out = build_and_eval(
             lambda bld, bus: {"s": bld.add(bus["a"], bus["b"])}, {"a": a, "b": b}
@@ -39,7 +41,7 @@ class TestAddSub:
         assert out["s"] == (a + b) & MASK
 
     @given(words, words)
-    @settings(max_examples=60)
+    @settings(max_examples=scale(60))
     def test_sub_wraps(self, a, b):
         out = build_and_eval(
             lambda bld, bus: {"d": bld.sub(bus["a"], bus["b"])}, {"a": a, "b": b}
@@ -47,13 +49,13 @@ class TestAddSub:
         assert out["d"] == (a - b) & MASK
 
     @given(words)
-    @settings(max_examples=30)
+    @settings(max_examples=scale(30))
     def test_negate(self, a):
         out = build_and_eval(lambda bld, bus: {"n": bld.negate(bus["a"])}, {"a": a})
         assert out["n"] == (-a) & MASK
 
     @given(words, words)
-    @settings(max_examples=30)
+    @settings(max_examples=scale(30))
     def test_borrow_flag(self, a, b):
         out = build_and_eval(
             lambda bld, bus: {"lt": bld.sub_with_borrow(bus["a"], bus["b"])[1]},
@@ -64,7 +66,7 @@ class TestAddSub:
 
 class TestComparison:
     @given(words, words)
-    @settings(max_examples=60)
+    @settings(max_examples=scale(60))
     def test_lt_unsigned(self, a, b):
         out = build_and_eval(
             lambda bld, bus: {"lt": bld.lt_unsigned(bus["a"], bus["b"])},
@@ -73,7 +75,7 @@ class TestComparison:
         assert out["lt"] == (1 if a < b else 0)
 
     @given(words, words)
-    @settings(max_examples=60)
+    @settings(max_examples=scale(60))
     def test_lt_signed(self, a, b):
         out = build_and_eval(
             lambda bld, bus: {"lt": bld.lt_signed(bus["a"], bus["b"])},
@@ -82,7 +84,7 @@ class TestComparison:
         assert out["lt"] == (1 if to_signed(a) < to_signed(b) else 0)
 
     @given(words, words)
-    @settings(max_examples=40)
+    @settings(max_examples=scale(40))
     def test_eq(self, a, b):
         out = build_and_eval(
             lambda bld, bus: {"eq": bld.eq(bus["a"], bus["b"])}, {"a": a, "b": b}
@@ -90,7 +92,7 @@ class TestComparison:
         assert out["eq"] == (1 if a == b else 0)
 
     @given(words)
-    @settings(max_examples=20)
+    @settings(max_examples=scale(20))
     def test_is_zero(self, a):
         out = build_and_eval(lambda bld, bus: {"z": bld.is_zero(bus["a"])}, {"a": a})
         assert out["z"] == (1 if a == 0 else 0)
@@ -98,7 +100,7 @@ class TestComparison:
 
 class TestSelection:
     @given(words, words, st.integers(min_value=0, max_value=1))
-    @settings(max_examples=40)
+    @settings(max_examples=scale(40))
     def test_mux(self, a, b, sel):
         def construct(bld, bus):
             select = bus["s"][0]
@@ -115,7 +117,7 @@ class TestSelection:
         assert out["m"] == (a if sel else b)
 
     @given(words, words)
-    @settings(max_examples=30)
+    @settings(max_examples=scale(30))
     def test_min_max_unsigned(self, a, b):
         out = build_and_eval(
             lambda bld, bus: {
@@ -128,7 +130,7 @@ class TestSelection:
         assert out["mx"] == max(a, b)
 
     @given(words)
-    @settings(max_examples=30)
+    @settings(max_examples=scale(30))
     def test_abs_and_relu(self, a):
         out = build_and_eval(
             lambda bld, bus: {
@@ -144,7 +146,7 @@ class TestSelection:
 
 class TestMulDiv:
     @given(words, words)
-    @settings(max_examples=50)
+    @settings(max_examples=scale(50))
     def test_mul_full(self, a, b):
         builder = CircuitBuilder()
         ba = builder.input_bus("a", WORD)
@@ -154,7 +156,7 @@ class TestMulDiv:
         assert out["p"] == a * b
 
     @given(signed_words, signed_words)
-    @settings(max_examples=50)
+    @settings(max_examples=scale(50))
     def test_mul_full_signed(self, a, b):
         builder = CircuitBuilder()
         ba = builder.input_bus("a", WORD)
@@ -164,7 +166,7 @@ class TestMulDiv:
         assert to_signed(out["p"], 2 * WORD) == a * b
 
     @given(words, st.integers(min_value=1, max_value=MASK))
-    @settings(max_examples=50)
+    @settings(max_examples=scale(50))
     def test_div_unsigned(self, a, b):
         builder = CircuitBuilder()
         ba = builder.input_bus("a", WORD)
@@ -201,7 +203,7 @@ class TestBusPlumbing:
         assert builder.circuit.evaluate({"a": 0b1011})["out"] == 0b101100
 
     @given(words, st.integers(min_value=0, max_value=WORD + 2))
-    @settings(max_examples=30)
+    @settings(max_examples=scale(30))
     def test_shift_right_arithmetic(self, a, amount):
         builder = CircuitBuilder()
         bus = builder.input_bus("a", WORD)
@@ -221,7 +223,7 @@ class TestFixedPointBuilder:
         st.floats(min_value=-100, max_value=100, allow_nan=False),
         st.floats(min_value=0.5, max_value=100, allow_nan=False),
     )
-    @settings(max_examples=40)
+    @settings(max_examples=scale(40))
     def test_fx_ops_match_mirrors(self, x, y):
         fmt = FixedPointFormat(16, 8)
         builder = FixedPointBuilder(fmt)

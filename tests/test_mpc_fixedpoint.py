@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.exceptions import CircuitError
 from repro.mpc.fixedpoint import FixedPointFormat
 
@@ -33,7 +35,7 @@ class TestFormat:
 
 class TestEncoding:
     @given(st.floats(min_value=-127, max_value=127, allow_nan=False))
-    @settings(max_examples=60)
+    @settings(max_examples=scale(60))
     def test_roundtrip_within_resolution(self, value):
         fmt = FixedPointFormat(16, 8)
         assert abs(fmt.decode(fmt.encode(value)) - value) <= fmt.resolution / 2
@@ -44,13 +46,13 @@ class TestEncoding:
         assert fmt.encode(-1e9) == fmt.min_raw
 
     @given(st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
-    @settings(max_examples=60)
+    @settings(max_examples=scale(60))
     def test_unsigned_pattern_roundtrip(self, raw):
         fmt = FixedPointFormat(16, 8)
         assert fmt.from_unsigned(fmt.to_unsigned(raw)) == raw
 
     @given(st.integers(min_value=-(1 << 20), max_value=1 << 20))
-    @settings(max_examples=60)
+    @settings(max_examples=scale(60))
     def test_wrap_is_mod_2L(self, raw):
         fmt = FixedPointFormat(16, 8)
         wrapped = fmt.wrap(raw)
@@ -81,7 +83,7 @@ class TestMirrors:
         st.floats(min_value=0.1, max_value=50, allow_nan=False),
         st.floats(min_value=0.1, max_value=50, allow_nan=False),
     )
-    @settings(max_examples=40)
+    @settings(max_examples=scale(40))
     def test_fx_div_close_to_real(self, x, y):
         fmt = FixedPointFormat(16, 8)
         result = fmt.decode(fmt.fx_div(fmt.encode(x), fmt.encode(y)))

@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.group import TOY_GROUP_64
 from repro.crypto.ot import DDHObliviousTransfer, SimulatedObliviousTransfer
 from repro.crypto.ot_extension import IKNPOTExtension
@@ -39,7 +41,7 @@ class TestCorrectness:
             assert result.reveal("lt") == (1 if a < b else 0)
 
     @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=scale(15), deadline=None)
     def test_property_random_inputs(self, a, b):
         rng = DeterministicRNG(a * 257 + b)
         circuit = adder_circuit()
@@ -217,3 +219,56 @@ class TestAccounting:
         }
         traffic = engine.evaluate(circuit, shares, rng).traffic
         assert sum(traffic.sent_bits) == sum(traffic.received_bits)
+
+
+class TestPairAttribution:
+    """Block-granular traffic: the per-ordered-pair view must tile the
+    per-party totals exactly, in both AND-gate backends — it is what the
+    secure-async scheduler puts on the wire."""
+
+    @pytest.mark.parametrize("mode", ["ot", "beaver"])
+    @pytest.mark.parametrize("parties", [2, 3, 4])
+    def test_pair_bits_sum_to_party_totals(self, parties, mode, rng):
+        circuit = adder_circuit()
+        engine = GMWEngine(parties, mode=mode)
+        shares = {
+            "a": engine.share_input(77, 8, rng),
+            "b": engine.share_input(180, 8, rng),
+        }
+        result = engine.evaluate(circuit, shares, rng)
+        traffic = result.traffic
+        assert traffic.pair_bits, "an adder has AND gates, so bits must flow"
+        for i in range(parties):
+            sent = sum(bits for (src, _), bits in traffic.pair_bits.items() if src == i)
+            received = sum(
+                bits for (_, dst), bits in traffic.pair_bits.items() if dst == i
+            )
+            assert sent == traffic.sent_bits[i]
+            assert received == traffic.received_bits[i]
+        # no self-links, every pair is an ordered pair of distinct parties
+        assert all(i != j for (i, j) in traffic.pair_bits)
+
+    def test_pair_bytes_match_pair_bits(self, rng):
+        circuit = adder_circuit()
+        engine = GMWEngine(3)
+        shares = {
+            "a": engine.share_input(5, 8, rng),
+            "b": engine.share_input(9, 8, rng),
+        }
+        traffic = engine.evaluate(circuit, shares, rng).traffic
+        for pair, num_bytes in traffic.pair_bytes().items():
+            assert num_bytes == traffic.pair_bits[pair] / 8.0
+
+    def test_ot_mode_covers_all_ordered_pairs(self, rng):
+        """OT-based AND gates touch every ordered pair of parties —
+        exactly the quadratic cost structure of Figures 3-5."""
+        circuit = adder_circuit()
+        parties = 4
+        engine = GMWEngine(parties)
+        shares = {
+            "a": engine.share_input(255, 8, rng),
+            "b": engine.share_input(255, 8, rng),
+        }
+        traffic = engine.evaluate(circuit, shares, rng).traffic
+        expected = {(i, j) for i in range(parties) for j in range(parties) if i != j}
+        assert set(traffic.pair_bits) == expected

@@ -7,6 +7,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.rng import DeterministicRNG
 from repro.exceptions import PrivacyBudgetExceeded, SensitivityError
 from repro.privacy.budget import DEFAULT_EPSILON_MAX, PrivacyAccountant
@@ -137,7 +139,7 @@ class TestAccountant:
             PrivacyAccountant().charge(-0.1)
 
     @given(st.lists(st.floats(min_value=0.01, max_value=0.2), min_size=1, max_size=10))
-    @settings(max_examples=30)
+    @settings(max_examples=scale(30))
     def test_spent_is_sum_of_charges(self, epsilons):
         acct = PrivacyAccountant(epsilon_max=10.0)
         for epsilon in epsilons:

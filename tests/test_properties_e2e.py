@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.core.config import DStressConfig
 from repro.core.engine import PlaintextEngine
 from repro.core.secure_engine import SecureEngine
@@ -34,7 +36,7 @@ def _random_net(seed: int, num_banks: int) -> FinancialNetwork:
 
 class TestEngineAgreementProperties:
     @given(st.integers(min_value=0, max_value=10**6))
-    @settings(max_examples=8, deadline=None)
+    @settings(max_examples=scale(8), deadline=None)
     def test_en_float_engine_matches_solver(self, seed):
         network = _random_net(seed, 8)
         graph = network.to_en_graph(2)
@@ -43,7 +45,7 @@ class TestEngineAgreementProperties:
         assert run.aggregate == pytest.approx(exact, abs=1e-6)
 
     @given(st.integers(min_value=0, max_value=10**6))
-    @settings(max_examples=8, deadline=None)
+    @settings(max_examples=scale(8), deadline=None)
     def test_egj_float_engine_matches_solver(self, seed):
         network = _random_net(seed, 8)
         graph = network.to_egj_graph(2)
@@ -54,7 +56,7 @@ class TestEngineAgreementProperties:
         assert run.aggregate == pytest.approx(exact, abs=1e-6)
 
     @given(st.integers(min_value=0, max_value=10**6))
-    @settings(max_examples=6, deadline=None)
+    @settings(max_examples=scale(6), deadline=None)
     def test_fixed_engine_quantization_bounded(self, seed):
         """Quantization error of the circuit engine is bounded by the
         per-step resolution times a modest constant."""
@@ -68,7 +70,7 @@ class TestEngineAgreementProperties:
 
 class TestSecureEngineProperty:
     @given(st.integers(min_value=0, max_value=1000))
-    @settings(max_examples=3, deadline=None)
+    @settings(max_examples=scale(3), deadline=None)
     def test_secure_matches_oracle_random_networks(self, seed):
         """The headline invariant on arbitrary small networks: the full
         protocol stack reproduces the clear circuit evaluation exactly."""
@@ -94,7 +96,7 @@ class TestEconomicInvariants:
         st.floats(min_value=0.0, max_value=1.0),
         st.floats(min_value=0.0, max_value=1.0),
     )
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=scale(15), deadline=None)
     def test_en_shortfall_monotone_in_shock(self, severity_a, severity_b):
         """More severe shocks never reduce the total dollar shortfall."""
         from repro.finance import apply_shock, uniform_shock
@@ -110,7 +112,7 @@ class TestEconomicInvariants:
         assert tds_hi >= tds_lo - 1e-9
 
     @given(st.integers(min_value=1, max_value=12))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=scale(10), deadline=None)
     def test_egj_shortfall_monotone_in_iterations(self, iterations):
         """EGJ values fall monotonically, so the reported shortfall can
         only grow with more iterations ([39])."""
@@ -122,7 +124,7 @@ class TestEconomicInvariants:
         assert longer >= shorter - 1e-9
 
     @given(st.integers(min_value=0, max_value=10**6))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=scale(10), deadline=None)
     def test_tds_bounded_by_total_obligations(self, seed):
         network = _random_net(seed, 10)
         total_debt = sum(d.amount for d in network.debts)

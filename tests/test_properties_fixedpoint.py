@@ -16,6 +16,8 @@ pytest.importorskip("hypothesis")
 
 from hypothesis import given, settings, strategies as st
 
+from conftest import scale
+
 from repro.mpc.fixedpoint import FixedPointFormat
 
 #: Representative formats: the default, the paper's narrow 12-bit regime,
@@ -46,7 +48,7 @@ def reals(fmt: FixedPointFormat) -> st.SearchStrategy:
 # ----------------------------------------------------------- encode/decode --
 
 
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scale(200), deadline=None)
 @given(fmt=formats, data=st.data())
 def test_encode_decode_round_trip_within_half_lsb(fmt, data):
     value = data.draw(reals(fmt))
@@ -55,14 +57,14 @@ def test_encode_decode_round_trip_within_half_lsb(fmt, data):
     assert abs(fmt.decode(raw) - value) <= fmt.resolution / 2 + 1e-12
 
 
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scale(200), deadline=None)
 @given(fmt=formats, data=st.data())
 def test_decode_encode_is_identity_on_the_raw_grid(fmt, data):
     raw = data.draw(raws(fmt))
     assert fmt.encode(fmt.decode(raw)) == raw
 
 
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scale(200), deadline=None)
 @given(fmt=formats, data=st.data())
 def test_out_of_range_values_clamp_to_the_edges(fmt, data):
     overshoot = data.draw(st.floats(min_value=fmt.resolution, max_value=1e6))
@@ -70,7 +72,7 @@ def test_out_of_range_values_clamp_to_the_edges(fmt, data):
     assert fmt.encode(fmt.min_value - overshoot) == fmt.min_raw
 
 
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scale(200), deadline=None)
 @given(fmt=formats, data=st.data())
 def test_twos_complement_round_trip(fmt, data):
     raw = data.draw(raws(fmt))
@@ -83,7 +85,7 @@ def test_twos_complement_round_trip(fmt, data):
 # ------------------------------------------------------------- homomorphism --
 
 
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scale(200), deadline=None)
 @given(fmt=formats, data=st.data())
 def test_addition_homomorphism_inside_the_range(fmt, data):
     a = data.draw(raws(fmt))
@@ -98,7 +100,7 @@ def test_addition_homomorphism_inside_the_range(fmt, data):
         assert fmt.wrap(total) == fmt.from_unsigned(fmt.to_unsigned(total))
 
 
-@settings(max_examples=300, deadline=None)
+@settings(max_examples=scale(300), deadline=None)
 @given(fmt=formats, data=st.data())
 def test_multiplication_homomorphism_within_one_lsb(fmt, data):
     a = data.draw(raws(fmt))
@@ -114,7 +116,7 @@ def test_multiplication_homomorphism_within_one_lsb(fmt, data):
     assert -fmt.resolution < error <= 1e-12
 
 
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scale(200), deadline=None)
 @given(fmt=formats, data=st.data())
 def test_multiplicative_identity_and_zero(fmt, data):
     a = data.draw(raws(fmt))
@@ -125,7 +127,7 @@ def test_multiplicative_identity_and_zero(fmt, data):
     assert fmt.fx_mul(a, 0) == 0
 
 
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scale(200), deadline=None)
 @given(fmt=formats, data=st.data())
 def test_division_inverts_multiplication_within_precision(fmt, data):
     a = data.draw(raws(fmt))

@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.rng import DeterministicRNG
 from repro.exceptions import ProtocolError
 from repro.sharing import (
@@ -23,7 +25,7 @@ from repro.sharing import (
 
 class TestXorSharing:
     @given(st.integers(min_value=0, max_value=2**16 - 1), st.integers(min_value=1, max_value=8))
-    @settings(max_examples=50)
+    @settings(max_examples=scale(50))
     def test_roundtrip(self, value, parties):
         rng = DeterministicRNG(value * 31 + parties)
         shares = share_value(value, 16, parties, rng)
@@ -79,7 +81,7 @@ class TestAdditiveSharing:
         st.integers(min_value=-1000, max_value=1000),
         st.integers(min_value=2, max_value=6),
     )
-    @settings(max_examples=50)
+    @settings(max_examples=scale(50))
     def test_roundtrip(self, value, parties):
         rng = DeterministicRNG(value * 7 + parties)
         modulus = 2**20
@@ -97,7 +99,7 @@ class TestAdditiveSharing:
 
 class TestSubshares:
     @given(st.integers(min_value=0, max_value=1), st.integers(min_value=2, max_value=6))
-    @settings(max_examples=30)
+    @settings(max_examples=scale(30))
     def test_bit_subshare_roundtrip(self, bit, receivers):
         rng = DeterministicRNG(bit * 13 + receivers)
         subshares = split_bit_subshares(bit, receivers, rng)

@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.elgamal import ExponentialElGamal
 from repro.crypto.group import TOY_GROUP_64
 from repro.crypto.keys import SchnorrSigner
@@ -36,7 +38,7 @@ def setup(toy_elgamal, rng):
 
 class TestEndToEnd:
     @given(st.integers(min_value=0, max_value=255))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=scale(15), deadline=None)
     def test_any_message_survives(self, message):
         rng = DeterministicRNG(message)
         eg = ExponentialElGamal(TOY_GROUP_64, dlog_half_width=512)

@@ -4,6 +4,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from conftest import scale
+
 from repro.crypto.elgamal import ExponentialElGamal
 from repro.crypto.group import TOY_GROUP_64
 from repro.crypto.rng import DeterministicRNG
@@ -22,7 +24,7 @@ class TestTheorem1Correctness:
     shared in B_u beforehand."""
 
     @given(st.integers(min_value=0, max_value=1), st.integers(min_value=2, max_value=6))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=scale(25), deadline=None)
     def test_correctness_property(self, value, block_size):
         eg = ExponentialElGamal(TOY_GROUP_64, dlog_half_width=512)
         scheme = ShareTransferScheme(eg, noise_alpha=0.5)

@@ -275,3 +275,75 @@ def test_unfaulted_rounds_still_deliver_on_a_faulty_bus():
 
     inbox = _run(scenario())
     assert sorted(inbox) == [1.5, 2.5]
+
+
+# ----------------------------------------------------------------- convey --
+
+
+def test_memory_convey_is_instant_noop():
+    """The reference bus carries crypto payloads with no delay and no
+    bookkeeping — the protocol meter owns the byte accounting."""
+    bus = InMemoryTransport()
+
+    async def scenario():
+        await bus.convey(0, 1, 1024.0, 0, kind="ot")
+
+    _run(scenario())  # nothing to assert beyond "returns immediately"
+
+
+def test_wan_convey_accounts_payload_scaled_delay_and_meters():
+    meter = TrafficMeter()
+    bus = SimulatedWanTransport(
+        latency_seconds=0.010,
+        bandwidth_bytes=1000.0,
+        meter=meter,
+        seed=3,
+        realtime=False,
+    )
+
+    async def scenario():
+        await bus.convey(0, 1, 500.0, 0, kind="ot")
+        await bus.convey(0, 1, 500.0, 1, kind="transfer")
+
+    _run(scenario())
+    # latency + 500/1000 serialization, twice, no jitter
+    assert bus.simulated_seconds == pytest.approx(2 * (0.010 + 0.5))
+    assert meter.link_bytes(0, 1) == pytest.approx(1000.0)
+
+
+def test_wan_convey_payload_overrides_message_size_for_serialization():
+    bus = SimulatedWanTransport(
+        latency_seconds=0.0, bandwidth_bytes=100.0, message_bytes=8.0, realtime=False
+    )
+    assert bus.link_delay(0, 1) == pytest.approx(0.08)
+    assert bus.link_delay(0, 1, num_bytes=1000.0) == pytest.approx(10.0)
+
+
+def test_faulty_convey_drop_raises_named_error():
+    bus = FaultInjectingTransport(drop=[(4, 7, 2)])
+
+    async def scenario():
+        await bus.convey(4, 7, 64.0, 2, kind="ot")
+
+    with pytest.raises(TransportError, match=r"round 2: ot delivery 4->7 was dropped"):
+        _run(scenario())
+
+
+def test_faulty_convey_duplicate_raises_named_error():
+    bus = FaultInjectingTransport(duplicate=[(4, 7, 1)])
+
+    async def scenario():
+        await bus.convey(4, 7, 64.0, 1, kind="transfer")
+
+    with pytest.raises(TransportError, match=r"round 1: duplicate transfer delivery 4->7"):
+        _run(scenario())
+
+
+def test_unfaulted_convey_passes_on_a_faulty_bus():
+    bus = FaultInjectingTransport(drop=[(4, 7, 2)])
+
+    async def scenario():
+        await bus.convey(4, 7, 64.0, 0, kind="ot")  # different round: clean
+        await bus.convey(7, 4, 64.0, 2, kind="ot")  # different link: clean
+
+    _run(scenario())
