@@ -1,0 +1,151 @@
+"""A scenario sweep that survives a process restart (and a crash).
+
+The regulator's sweep budget is yearly and irreplaceable (eps_max = ln 2,
+§4.5), so a restarted service must *replay* the releases it already paid
+for instead of recomputing and re-charging them. This example drives the
+persistent scenario cache end to end, across real process boundaries:
+
+1. **populate** — a child process runs the full secure-engine sweep with
+   ``cache=<dir>``: every scenario executes and is charged;
+2. **crash while populating** — a second child starts the same sweep
+   against an *empty* sibling directory and is SIGKILLed mid-flight, so
+   the kill lands during engine work or entry writes; a third child then
+   restarts on that half-populated directory and must still complete
+   with the same released values — atomic entry writes mean a torn store
+   is impossible, whatever was cached is valid, the rest recomputes;
+3. **restart** — a final child re-runs the sweep on the fully-populated
+   directory from pass 1: every scenario is a warm hit — zero engine
+   executions, zero epsilon charged, released values bit-identical.
+
+The script exits non-zero if the restarted sweep was not fully warm, so
+CI uses it as the disk-cache smoke check.
+
+Run: PYTHONPATH=src python examples/persistent_cache_sweep.py
+"""
+
+import glob
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro import Bank, FinancialNetwork, PrivacyAccountant, Scenario, StressTest
+
+
+def build_network() -> FinancialNetwork:
+    """Four banks with a cascading default when bank 0 is shocked."""
+    network = FinancialNetwork()
+    network.add_bank(Bank(0, cash=2.0))
+    network.add_bank(Bank(1, cash=1.0))
+    network.add_bank(Bank(2, cash=1.0))
+    network.add_bank(Bank(3, cash=0.5))
+    network.add_debt(0, 1, 4.0)
+    network.add_debt(0, 2, 2.0)
+    network.add_debt(1, 3, 3.0)
+    network.add_debt(2, 3, 1.0)
+    return network
+
+
+def run_sweep(cache_dir: str) -> dict:
+    """One process's view of the sweep: fresh session, fresh accountant,
+    fresh cache object — only the directory persists between calls."""
+    accountant = PrivacyAccountant()  # eps_max = ln 2
+    template = (
+        StressTest(build_network())
+        .program("eisenberg-noe")
+        .engine("secure")
+        .preset("demo")
+        .privacy(epsilon=0.16)
+        .degree_bound(2)
+    )
+    scenarios = [Scenario(f"shock-{i}", seed=20 + i, iterations=2) for i in range(3)]
+    batch = template.run_many(scenarios, accountant=accountant, cache=cache_dir)
+    return {
+        "aggregates": batch.aggregates(),
+        "hits": batch.cache_hits,
+        "misses": batch.cache_misses,
+        "epsilon_charged": batch.epsilon_charged,
+        "spent": accountant.spent,
+    }
+
+
+def child(cache_dir: str) -> subprocess.Popen:
+    """The sweep as a separate OS process (a 'service instance')."""
+    return subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), "--sweep", cache_dir],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+
+
+def main() -> None:
+    cache_dir = tempfile.mkdtemp(prefix="dstress-sweep-cache-")
+    try:
+        _demonstrate(cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(cache_dir + "-crash", ignore_errors=True)
+
+
+def _demonstrate(cache_dir: str) -> None:
+    print(f"cache directory: {cache_dir}\n")
+
+    print("pass 1 - cold: a fresh process populates the cache ...")
+    proc = child(cache_dir)
+    cold = json.loads(proc.communicate()[0])
+    assert proc.returncode == 0
+    print(
+        f"  executed {cold['misses']} scenarios, "
+        f"charged epsilon {cold['spent']:.3f}"
+    )
+
+    print("pass 2 - crash: SIGKILL a sweep POPULATING an empty directory ...")
+    crash_dir = cache_dir + "-crash"
+    victim = child(crash_dir)
+    # kill the instant the first entry lands: with scenarios completing
+    # one at a time (hundreds of ms apart), that pins the genuinely
+    # half-populated state — a fixed sleep would race the sweep's speed
+    deadline = time.time() + 60
+    while time.time() < deadline and not glob.glob(os.path.join(crash_dir, "*.json")):
+        time.sleep(0.001)
+    victim.send_signal(signal.SIGKILL)
+    victim.communicate()
+    landed = len(glob.glob(os.path.join(crash_dir, "*.json")))
+    print(f"  killed pid {victim.pid} mid-populate ({landed}/3 entries on disk)")
+    proc = child(crash_dir)
+    recovered = json.loads(proc.communicate()[0])
+    assert proc.returncode == 0
+    assert recovered["aggregates"] == cold["aggregates"], "torn entry corrupted a value"
+    print(
+        f"  restart on the half-populated dir: {recovered['hits']} valid "
+        f"entries reused, {recovered['misses']} recomputed, values intact"
+    )
+
+    print("pass 3 - restart: a fresh process replays the full sweep ...")
+    proc = child(cache_dir)
+    warm = json.loads(proc.communicate()[0])
+    assert proc.returncode == 0
+    print(
+        f"  {warm['hits']} warm hits, {warm['misses']} engine runs, "
+        f"charged epsilon {warm['spent']:.3f}"
+    )
+
+    # the contract this example (and the CI smoke step) enforces
+    assert warm["misses"] == 0, "restarted sweep re-ran an engine"
+    assert warm["spent"] == 0.0, "restarted sweep re-charged the accountant"
+    assert warm["aggregates"] == cold["aggregates"], "replayed values drifted"
+    print(
+        "\nrestart survived: zero engine executions, zero epsilon charged, "
+        "released values bit-identical."
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--sweep":
+        print(json.dumps(run_sweep(sys.argv[2])))
+    else:
+        main()

@@ -16,7 +16,8 @@ README.md for the old-call → new-call migration table.
 
 from repro.api.async_engine import AsyncEngine
 from repro.api.batch import BatchResult, Scenario, ScenarioOutcome, run_batch
-from repro.api.cache import ScenarioCache, run_fingerprint
+from repro.api.cache import ScenarioCache, ScenarioCacheBase, run_fingerprint
+from repro.api.diskcache import PersistentScenarioCache
 from repro.api.engines import (
     Engine,
     NaiveMPCEngine,
@@ -43,6 +44,7 @@ __all__ = [
     "BatchResult",
     "Engine",
     "NaiveMPCEngine",
+    "PersistentScenarioCache",
     "PlaintextFixedEngine",
     "PlaintextFloatEngine",
     "ProgramEntry",
@@ -50,6 +52,7 @@ __all__ = [
     "RunResult",
     "Scenario",
     "ScenarioCache",
+    "ScenarioCacheBase",
     "ScenarioOutcome",
     "SecureAsyncEngine",
     "SecureDStressEngine",

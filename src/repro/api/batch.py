@@ -27,22 +27,31 @@ Two execution shapes share that prelude:
   order, with no pool barrier. Same per-scenario bits either way.
 
 Determinism also enables the scenario-level **cache** (``cache=`` — a
-:class:`~repro.api.cache.ScenarioCache` shared across batches, or
-``True`` for a per-call one): two scenarios with the same fingerprint
+:class:`~repro.api.cache.ScenarioCache` shared across batches, ``True``
+for a per-call one, or a directory path for the on-disk
+:class:`~repro.api.diskcache.PersistentScenarioCache` that survives
+process restarts): two scenarios with the same fingerprint
 (network/graph, config incl. seed, program, engine + options, iteration
 spec) are guaranteed the same :class:`RunResult`, so only the first
 executes — and only the first is charged against the
 :class:`~repro.privacy.budget.PrivacyAccountant`.
+
+Budget charges are provisional until a release actually happens: a
+releasing scenario that *fails* (its worker raised) has its pre-charge
+refunded in both execution shapes — nothing was published, so nothing
+was spent (§4.5's budget pays for releases, not attempts).
 """
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.api.cache import ScenarioCache, clone_result, run_fingerprint
+from repro.api.cache import ScenarioCache, ScenarioCacheBase, clone_result, run_fingerprint
+from repro.api.diskcache import PersistentScenarioCache
 from repro.api.engines import Engine, validate_intra_run_width
 from repro.api.pool import iter_in_pool, map_in_pool, plan_workers
 from repro.api.result import RunResult
@@ -115,6 +124,9 @@ class BatchResult:
     outcomes: List[ScenarioOutcome]
     wall_seconds: float
     workers: int = 1
+    #: Net epsilon drawn from the accountant by this batch: the eager
+    #: pre-charge minus refunds for releasing scenarios that failed
+    #: (a failed run released nothing, so its charge is returned).
     epsilon_charged: float = 0.0
     #: Scenario-cache accounting for this batch (both stay 0 without a
     #: cache): ``cache_hits`` counts outcomes reused without recompute,
@@ -250,7 +262,7 @@ class _PreparedBatch:
     to_run: List[int]
     cached_results: Dict[int, RunResult]
     duplicates: Dict[int, int]
-    cache: Optional[ScenarioCache]
+    cache: Optional[ScenarioCacheBase]
     effective_workers: int
     epsilon_charged: float
     #: The accountant that was charged (if any) and the recorded charge
@@ -271,15 +283,18 @@ class _PreparedBatch:
         return self.cache.hits - self.hits_before, self.cache.misses - self.misses_before
 
 
-def _resolve_cache(cache) -> Optional[ScenarioCache]:
+def _resolve_cache(cache) -> Optional[ScenarioCacheBase]:
     if cache is None or cache is False:
         return None
     if cache is True:
         return ScenarioCache()
-    if isinstance(cache, ScenarioCache):
+    if isinstance(cache, (str, os.PathLike)):
+        return PersistentScenarioCache(cache)
+    if isinstance(cache, ScenarioCacheBase):
         return cache
     raise ConfigurationError(
-        f"cache must be a ScenarioCache, True, or None — got {type(cache).__name__}"
+        f"cache must be a ScenarioCache, a cache-directory path, True, or "
+        f"None — got {type(cache).__name__}"
     )
 
 
@@ -506,8 +521,9 @@ def _stream_outcomes(prepared: _PreparedBatch) -> Iterator[ScenarioOutcome]:
 
     Abandoning the stream (``close()``, ``break``, GC) refunds the
     accountant for every pre-charged releasing scenario whose outcome was
-    never received — releasing nothing consumes no privacy, so only the
-    work that actually completed stays on the books. The cache's hit/miss
+    never received, and a scenario that completed *failed* is refunded on
+    the spot — releasing nothing consumes no privacy, so only the
+    releases that actually happened stay on the books. The cache's hit/miss
     telemetry is rolled back the same way: a miss counts a scenario that
     executed, a hit counts a result actually delivered, so neither may
     remember work the abandoned stream never did.
@@ -539,6 +555,15 @@ def _stream_outcomes(prepared: _PreparedBatch) -> Iterator[ScenarioOutcome]:
             index = prepared.to_run[position]
             completed.add(index)
             outcome = _finish_outcome(prepared, index, outcome)
+            if (
+                not outcome.ok
+                and prepared.accountant is not None
+                and index in prepared.charges
+            ):
+                # completed but failed: the release never happened, so its
+                # pre-charge goes back (the finally below skips it — the
+                # index is in `completed` — so no double refund)
+                prepared.accountant.refund(prepared.charges[index])
             # clone for dependents BEFORE the primary is yielded: once the
             # consumer holds the primary it may mutate it, and that must
             # not bleed into the duplicates still queued behind it. Hits
@@ -583,8 +608,11 @@ def run_batch(
     iterator yielding each :class:`ScenarioOutcome` as its worker
     finishes (completion order, no pool barrier) — resolution, worker
     planning, and budget charging still all happen before this call
-    returns. ``cache`` enables scenario-level result reuse (see
-    :class:`~repro.api.cache.ScenarioCache`).
+    returns. ``cache`` enables scenario-level result reuse: pass a
+    :class:`~repro.api.cache.ScenarioCache`, ``True`` for a per-call
+    one, or a directory path (``str`` / :class:`os.PathLike`) for a
+    :class:`~repro.api.diskcache.PersistentScenarioCache` whose entries
+    survive process restarts.
     """
     prepared = _prepare_batch(template, scenarios, workers, accountant, cache)
     if stream:
@@ -616,6 +644,20 @@ def run_batch(
         index: _finish_outcome(prepared, index, outcome)
         for index, outcome in zip(prepared.to_run, executed)
     }
+    # a releasing scenario that failed published nothing: its eager
+    # pre-charge is refunded, and the batch reports the net draw (summed
+    # over the charges kept, not subtracted, so a fully-refunded batch
+    # reports exactly 0.0 instead of float dust)
+    epsilon_charged = prepared.epsilon_charged
+    if prepared.accountant is not None:
+        kept = dict(prepared.charges)
+        for index, charge in prepared.charges.items():
+            outcome = by_index.get(index)
+            if outcome is not None and not outcome.ok:
+                prepared.accountant.refund(charge)
+                del kept[index]
+        if len(kept) != len(prepared.charges):
+            epsilon_charged = sum(c.epsilon for c in kept.values())
     outcomes: List[ScenarioOutcome] = []
     for index in range(len(prepared.payloads)):
         if index in by_index:
@@ -630,7 +672,7 @@ def run_batch(
         outcomes=outcomes,
         wall_seconds=time.perf_counter() - started,
         workers=prepared.effective_workers,
-        epsilon_charged=prepared.epsilon_charged,
+        epsilon_charged=epsilon_charged,
         cache_hits=cache_hits,
         cache_misses=cache_misses,
     )

@@ -20,6 +20,12 @@ engine's scalar options). Anything unrecognized — say an engine carrying
 a live :class:`~repro.core.transport.Transport` instance — makes the run
 unfingerprintable and therefore *uncacheable*, never wrongly shared: a
 cache must only ever err toward a miss.
+
+:class:`ScenarioCacheBase` is the protocol the batch layer programs
+against: the in-memory :class:`ScenarioCache` here and the on-disk
+:class:`~repro.api.diskcache.PersistentScenarioCache` both implement it,
+so ``run_batch(..., cache=...)`` accepts either (or a directory path,
+which builds the persistent one).
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import hashlib
+from abc import ABC, abstractmethod
 from typing import Any, Dict, Optional
 
 from repro.api.result import RunResult
@@ -34,7 +41,7 @@ from repro.api.session import ResolvedRun
 from repro.core.graph import DistributedGraph
 from repro.crypto.group import CyclicGroup
 
-__all__ = ["ScenarioCache", "run_fingerprint", "clone_result"]
+__all__ = ["ScenarioCache", "ScenarioCacheBase", "run_fingerprint", "clone_result"]
 
 
 def clone_result(result: RunResult) -> Optional[RunResult]:
@@ -170,7 +177,63 @@ def run_fingerprint(
     return hashlib.sha256(repr(token).encode("utf-8")).hexdigest()
 
 
-class ScenarioCache:
+class ScenarioCacheBase(ABC):
+    """The cache protocol the batch layer programs against.
+
+    Subclasses supply the storage (:meth:`_fetch` / :meth:`_persist`);
+    this base owns the shared semantics: ``None`` fingerprints
+    (uncacheable runs) always miss, only successful results are stored,
+    every entry handed *out* is an isolated copy (isolating what is
+    retained is the storage's job — see :meth:`_persist`), and the
+    ``hits``/``misses`` counters are plain attributes so the batch layer
+    can roll telemetry back when a batch is refused or abandoned.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @abstractmethod
+    def _fetch(self, fingerprint: str) -> Optional[RunResult]:
+        """An *already isolated* copy of the entry, or ``None`` on miss."""
+
+    @abstractmethod
+    def _persist(self, fingerprint: str, result: RunResult) -> None:
+        """Remember ``result``. The caller keeps ownership: never mutate
+        it, and isolate (copy/serialize) whatever is retained — a
+        disk-only store that just pickles it need not copy at all."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every entry (telemetry counters are kept)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored entries."""
+
+    def lookup(self, fingerprint: Optional[str]) -> Optional[RunResult]:
+        """A private copy of the cached result, counting the hit/miss."""
+        if fingerprint is not None:
+            clone = self._fetch(fingerprint)
+            if clone is not None:
+                self.hits += 1
+                return clone
+        self.misses += 1
+        return None
+
+    def store(self, fingerprint: Optional[str], result: RunResult) -> None:
+        """Remember a successful result (no-op for uncacheable runs or
+        results the storage cannot isolate)."""
+        if fingerprint is not None:
+            self._persist(fingerprint, result)
+
+    def note_hit(self) -> None:
+        """Count a reuse that bypassed :meth:`lookup` (an in-batch
+        duplicate satisfied from a scenario still executing)."""
+        self.hits += 1
+
+
+class ScenarioCache(ScenarioCacheBase):
     """An in-memory fingerprint → :class:`RunResult` store.
 
     Pass an instance to :func:`repro.api.batch.run_batch` (or
@@ -188,41 +251,25 @@ class ScenarioCache:
     """
 
     def __init__(self) -> None:
+        super().__init__()
         self._store: Dict[str, RunResult] = {}
-        self.hits = 0
-        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
-    def lookup(self, fingerprint: Optional[str]) -> Optional[RunResult]:
-        """A private copy of the cached result, counting the hit/miss.
+    def _fetch(self, fingerprint: str) -> Optional[RunResult]:
+        result = self._store.get(fingerprint)
+        if result is None:
+            return None
+        clone = clone_result(result)
+        if clone is None:
+            del self._store[fingerprint]  # uncopyable entry: evict
+        return clone
 
-        ``None`` fingerprints (uncacheable runs) always miss.
-        """
-        if fingerprint is not None:
-            result = self._store.get(fingerprint)
-            if result is not None:
-                clone = clone_result(result)
-                if clone is not None:
-                    self.hits += 1
-                    return clone
-                del self._store[fingerprint]  # uncopyable entry: evict
-        self.misses += 1
-        return None
-
-    def store(self, fingerprint: Optional[str], result: RunResult) -> None:
-        """Remember a successful result (no-op for uncacheable runs or
-        results that cannot be copied for isolation)."""
-        if fingerprint is not None:
-            clone = clone_result(result)
-            if clone is not None:
-                self._store[fingerprint] = clone
-
-    def note_hit(self) -> None:
-        """Count a reuse that bypassed :meth:`lookup` (an in-batch
-        duplicate satisfied from a scenario still executing)."""
-        self.hits += 1
+    def _persist(self, fingerprint: str, result: RunResult) -> None:
+        clone = clone_result(result)
+        if clone is not None:
+            self._store[fingerprint] = clone
 
     def clear(self) -> None:
         self._store.clear()

@@ -1,0 +1,437 @@
+"""Persistent on-disk scenario cache: sweeps survive process restarts.
+
+The in-memory :class:`~repro.api.cache.ScenarioCache` dies with the
+process, but the workload it serves — a regulator re-running the same
+quarterly sweeps under a hard yearly ``ln 2`` budget (§4.5) — lives for
+years. :class:`PersistentScenarioCache` is the drop-in disk-backed tier:
+``run_many(..., cache="path/to/dir")`` keys entries by the same
+content-based :func:`~repro.api.cache.run_fingerprint` digests, so a
+restarted service (or a colleague's process pointed at a shared
+directory) replays previously-released results with **zero engine
+executions and zero fresh epsilon charges**.
+
+Layout and guarantees:
+
+* **Content-addressed entries.** Each fingerprint owns two files:
+  ``<fp>.pkl`` (the pickled :class:`~repro.api.result.RunResult`) and
+  ``<fp>.json`` (a sidecar with format version, fingerprint,
+  engine/program identity, payload size, created/used timestamps).
+* **Atomic writes.** Every file lands via tmpfile + :func:`os.replace`
+  in the cache directory, so a worker killed mid-write can never leave a
+  torn entry — only a stale ``.tmp-*`` file, swept on the next init.
+* **Versioned format, err toward miss.** An unreadable payload, an
+  invalid sidecar, or a sidecar written by a different
+  :data:`DISK_FORMAT_VERSION` is treated as a miss and discarded; a
+  wrong hit is the one failure mode a result cache must never have.
+* **Two tiers.** An in-process memory tier (plain dict of golden copies)
+  fronts the disk tier, so hot sweeps pay one deep copy per hit —
+  exactly what the memory-only cache costs today — and the disk is only
+  read the first time each entry is seen by this process.
+* **LRU eviction under a byte cap.** ``max_bytes`` bounds the payload
+  bytes on disk; the least-recently-used entries (sidecar ``used_at``,
+  refreshed on every disk hit and store — memory-tier hits deliberately
+  skip the refresh to keep the hot path write-free) are evicted first,
+  and evictions are counted on the instance (``evictions`` /
+  ``evicted_bytes``, see :meth:`stats`).
+* **Cross-process safety.** Atomic replace + tolerate-vanishing-files
+  reads mean two concurrent sweeps (or ``workers>1`` batches) sharing a
+  directory can interleave freely: the worst interleaving costs a miss
+  and a recompute, never corruption or a wrong hit.
+
+**Trust model.** Entries are ``pickle`` payloads, and unpickling
+executes code: anyone who can write to the cache directory can run
+arbitrary code in every process that reads it. Point ``cache=`` only at
+directories exactly as trusted as the code you run — your own service's
+state directory, a team-owned volume — never at world-writable paths.
+The cross-process guarantees above are about *crash and race* safety
+between cooperating writers, not about malicious ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.api.cache import ScenarioCacheBase, clone_result
+from repro.api.result import RunResult
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PersistentScenarioCache", "DISK_FORMAT_VERSION"]
+
+#: Version stamped into every entry's sidecar. Bump it whenever the
+#: pickled payload shape or the fingerprint inputs change incompatibly:
+#: entries from other versions read as misses, never as wrong hits.
+DISK_FORMAT_VERSION = 1
+
+_PAYLOAD_SUFFIX = ".pkl"
+_SIDECAR_SUFFIX = ".json"
+_TMP_PREFIX = ".tmp-"
+
+#: How old a sidecar-less payload must be before it is swept as an
+#: orphan. A live writer lands the payload microseconds before the
+#: sidecar; only a writer that died in that gap leaves one this stale.
+_ORPHAN_GRACE_SECONDS = 60.0
+
+#: Eviction empties the store down to this fraction of ``max_bytes``
+#: rather than stopping exactly at the cap, so a store arriving at a
+#: full cache buys headroom for many further stores instead of pushing
+#: the next store straight back into a full directory walk.
+_EVICTION_LOW_WATER = 0.9
+
+
+class PersistentScenarioCache(ScenarioCacheBase):
+    """A two-tier (memory → disk) fingerprint → :class:`RunResult` store.
+
+    Drop-in wherever a :class:`~repro.api.cache.ScenarioCache` is
+    accepted; ``run_batch`` / ``StressTest.run_many`` also build one
+    directly from ``cache="path/to/dir"``. The directory is created on
+    demand and may be shared between processes.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live. Everything this cache writes stays inside it.
+    max_bytes:
+        Optional hard cap on the total payload bytes kept on disk;
+        exceeding it evicts least-recently-used entries after every
+        store. A single entry larger than the cap is rejected outright
+        (memory tier included, counted on ``rejections``) — it alone, so
+        it can never flush smaller already-paid-for entries out of the
+        store (a hard budget, not advisory).
+    memory_tier:
+        Keep an in-process dict of entries already seen, so repeat hits
+        cost one deep copy instead of a disk read. Unbounded, like the
+        memory-only cache; disable for many-gigabyte sweeps.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        max_bytes: Optional[int] = None,
+        memory_tier: bool = True,
+    ) -> None:
+        super().__init__()
+        if max_bytes is not None and (isinstance(max_bytes, bool) or max_bytes < 1):
+            raise ConfigurationError("max_bytes must be a positive int (or None)")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self._memory: Optional[Dict[str, RunResult]] = {} if memory_tier else None
+        #: Telemetry beyond the base hit/miss counters: which tier served
+        #: each hit, and what eviction has cost so far. Cumulative over
+        #: the instance's lifetime (batch-refusal rollbacks adjust only
+        #: the shared ``hits``/``misses``).
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        self.rejections = 0
+        self._sweep_stale_tmp()
+        self._sweep_orphan_payloads()
+        # running payload-byte estimate, seeded from disk once: the
+        # common under-cap store must not pay a directory walk. Stores
+        # add to it, eviction walks resync it from disk; another
+        # process's concurrent writes are invisible until our own next
+        # walk, so a shared directory enforces the cap per writer (it can
+        # transiently exceed the cap by the other writers' in-flight
+        # bytes — never by ours).
+        self._approx_bytes = self.total_bytes() if max_bytes is not None else 0
+
+    # ------------------------------------------------------------ protocol --
+
+    def _fetch(self, fingerprint: str) -> Optional[RunResult]:
+        if self._memory is not None and fingerprint in self._memory:
+            clone = clone_result(self._memory[fingerprint])
+            if clone is not None:
+                # no sidecar touch here: the hot path must cost exactly
+                # one deep copy (the entry's used_at was refreshed when
+                # this process first read or wrote it, which bounds the
+                # LRU staleness at the process lifetime)
+                self.memory_hits += 1
+                return clone
+            del self._memory[fingerprint]  # uncopyable entry: evict
+        _, sidecar_path = self._paths(fingerprint)
+        if not sidecar_path.exists():
+            # plain miss: nothing to clean up — and nothing to race. A
+            # _discard here could delete a concurrent writer's entry that
+            # lands between this check and the unlink (the sidecar is the
+            # last file written, so present-but-invalid can only mean
+            # corruption or version skew, never a writer mid-persist).
+            return None
+        meta = self._read_sidecar(fingerprint)
+        result = self._read_entry(fingerprint, meta)
+        if result is None:
+            return None
+        self.disk_hits += 1
+        self._touch(fingerprint, meta)
+        if self._memory is not None:
+            # keep the unpickled object as the golden copy; hand out a clone
+            self._memory[fingerprint] = result
+            return clone_result(result)
+        return result
+
+    def _persist(self, fingerprint: str, result: RunResult) -> None:
+        # pickling isolates the disk copy by itself, so a memory_tier=False
+        # store never deep-copies; only the memory tier needs its own clone
+        try:
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self._remember(fingerprint, result)
+            return  # unpicklable result: memory-tier entry only (if any)
+        if self.max_bytes is not None and len(payload) > self.max_bytes:
+            # an entry that can never fit under the cap must not enter the
+            # LRU walk at all — as the batch's newest entry it would sort
+            # last and push every smaller (still-valid, already-paid-for)
+            # entry out before evicting itself. It is rejected outright,
+            # memory tier included, and counted apart from evictions so
+            # evicted_bytes reflects only bytes that actually left disk.
+            self.rejections += 1
+            return
+        self._remember(fingerprint, result)
+        payload_path, sidecar_path = self._paths(fingerprint)
+        now = time.time()
+        meta = {
+            "version": DISK_FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "engine": result.engine,
+            "program": result.program,
+            "payload_bytes": len(payload),
+            "created_at": now,
+            "used_at": now,
+        }
+        try:
+            # payload first, sidecar second: an entry is live only once its
+            # sidecar validates, so a crash between the two writes leaves a
+            # sidecar-less payload that reads as a miss (and is swept by
+            # eviction), never a live pointer to missing data
+            self._atomic_write(payload_path, payload)
+            self._atomic_write(
+                sidecar_path, json.dumps(meta, sort_keys=True).encode("utf-8")
+            )
+        except OSError:
+            return  # a full/readonly/raced disk costs persistence, not the run
+        if self.max_bytes is not None:
+            self._approx_bytes += len(payload)
+            if self._approx_bytes > self.max_bytes:
+                self._evict_to_cap(protect=fingerprint)
+
+    def clear(self) -> None:
+        if self._memory is not None:
+            self._memory.clear()
+        for path in self.directory.iterdir():
+            if path.suffix in (_PAYLOAD_SUFFIX, _SIDECAR_SUFFIX) or path.name.startswith(
+                _TMP_PREFIX
+            ):
+                _unlink_quietly(path)
+        self._approx_bytes = 0
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for path in self.directory.glob("*" + _SIDECAR_SUFFIX)
+            if not path.name.startswith(_TMP_PREFIX)
+        )
+
+    # ----------------------------------------------------------- telemetry --
+
+    def total_bytes(self) -> int:
+        """Payload bytes currently on disk (sidecars are not counted)."""
+        total = 0
+        for payload_path, _ in self._entry_paths():
+            try:
+                total += payload_path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def stats(self) -> Dict[str, int]:
+        """One snapshot of the cache's telemetry counters and footprint."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "rejections": self.rejections,
+            "entries": len(self),
+            "disk_bytes": self.total_bytes(),
+        }
+
+    # ----------------------------------------------------------- internals --
+
+    def _remember(self, fingerprint: str, result: RunResult) -> None:
+        """Keep a private golden copy in the memory tier (if enabled)."""
+        if self._memory is not None:
+            clone = clone_result(result)
+            if clone is not None:
+                self._memory[fingerprint] = clone
+
+    def _paths(self, fingerprint: str) -> Tuple[Path, Path]:
+        return (
+            self.directory / (fingerprint + _PAYLOAD_SUFFIX),
+            self.directory / (fingerprint + _SIDECAR_SUFFIX),
+        )
+
+    def _entry_paths(self):
+        """(payload, sidecar) pairs for every sidecar currently on disk."""
+        for sidecar_path in self.directory.glob("*" + _SIDECAR_SUFFIX):
+            if sidecar_path.name.startswith(_TMP_PREFIX):
+                continue
+            fingerprint = sidecar_path.name[: -len(_SIDECAR_SUFFIX)]
+            yield self.directory / (fingerprint + _PAYLOAD_SUFFIX), sidecar_path
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        """Write ``data`` to ``path`` so readers see old-or-new, never torn."""
+        tmp = self.directory / f"{_TMP_PREFIX}{os.getpid()}-{uuid.uuid4().hex}"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            _unlink_quietly(tmp)
+
+    def _read_sidecar(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        _, sidecar_path = self._paths(fingerprint)
+        try:
+            meta = json.loads(sidecar_path.read_bytes())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(meta, dict)
+            or meta.get("version") != DISK_FORMAT_VERSION
+            or meta.get("fingerprint") != fingerprint
+        ):
+            return None
+        return meta
+
+    def _read_entry(
+        self, fingerprint: str, meta: Optional[Dict[str, Any]]
+    ) -> Optional[RunResult]:
+        """Validate and unpickle one disk entry given its already-read
+        sidecar; anything wrong is a miss (and the remains are discarded
+        so they aren't re-tried forever)."""
+        if meta is None:
+            self._discard(fingerprint)
+            return None
+        payload_path, _ = self._paths(fingerprint)
+        try:
+            result = pickle.loads(payload_path.read_bytes())
+        except Exception:
+            self._discard(fingerprint)
+            return None
+        if not isinstance(result, RunResult):
+            self._discard(fingerprint)
+            return None
+        return result
+
+    def _touch(self, fingerprint: str, meta: Dict[str, Any]) -> None:
+        """Refresh the entry's LRU timestamp from its already-read
+        sidecar (best effort — a lost touch only skews eviction order,
+        never correctness)."""
+        meta = dict(meta)
+        meta["used_at"] = time.time()
+        _, sidecar_path = self._paths(fingerprint)
+        try:
+            self._atomic_write(
+                sidecar_path, json.dumps(meta, sort_keys=True).encode("utf-8")
+            )
+        except OSError:
+            pass
+
+    def _discard(self, fingerprint: str) -> None:
+        for path in self._paths(fingerprint):
+            _unlink_quietly(path)
+
+    def _evict_to_cap(self, protect: Optional[str] = None) -> None:
+        """Full eviction walk: resync the byte estimate from disk, then
+        evict oldest-used entries until the cap holds. Only reached when
+        the running estimate crosses the cap (rare), so its directory
+        walk and sidecar reads are off the common store path.
+
+        ``protect`` exempts the entry whose store triggered this walk: it
+        fit under the cap (oversized ones were rejected before writing),
+        so the walk must never sacrifice it to reach the low-water mark —
+        a sweep whose single result sits between the mark and the cap
+        would otherwise get zero persistence, re-charging epsilon on
+        every restart."""
+        if self.max_bytes is None:
+            return
+        # orphaned payloads are invisible to the sidecar walk below, so
+        # the walk sweeps them first — otherwise a crashed writer's
+        # half-entry would count against nothing yet occupy real bytes
+        self._sweep_orphan_payloads()
+        sized: List[Tuple[str, int]] = []  # (fingerprint, bytes)
+        total = 0
+        for payload_path, sidecar_path in self._entry_paths():
+            try:
+                size = payload_path.stat().st_size
+            except OSError:
+                # sidecar without payload: half-written or raced entry —
+                # remove the orphan sidecar so len() stays honest
+                _unlink_quietly(sidecar_path)
+                continue
+            sized.append((sidecar_path.name[: -len(_SIDECAR_SUFFIX)], size))
+            total += size
+        if total > self.max_bytes:
+            # over cap for real: only now pay a sidecar read per entry.
+            # Evict down to a low-water mark, not just under the cap —
+            # at steady state an exactly-at-cap store would otherwise
+            # cross the cap (and pay this whole walk) on every store
+            target = int(self.max_bytes * _EVICTION_LOW_WATER)
+            entries = []  # (used_at, fingerprint, bytes)
+            for fingerprint, size in sized:
+                meta = self._read_sidecar(fingerprint)
+                used_at = float(meta.get("used_at", 0.0)) if meta else 0.0
+                entries.append((used_at, fingerprint, size))
+            entries.sort()  # oldest first; fingerprint breaks ties stably
+            for used_at, fingerprint, size in entries:
+                if total <= target:
+                    break
+                if fingerprint == protect:
+                    continue
+                self._discard(fingerprint)
+                self.evictions += 1
+                self.evicted_bytes += size
+                total -= size
+        self._approx_bytes = total
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove tmp files left by crashed writers. Racing a *live*
+        writer's tmp at worst turns its store into a no-op (a miss later),
+        which is the direction a cache is allowed to err."""
+        for path in self.directory.glob(_TMP_PREFIX + "*"):
+            _unlink_quietly(path)
+
+    def _sweep_orphan_payloads(self) -> None:
+        """Remove payloads whose sidecar never landed (a writer died
+        between the two writes): they read as misses but occupy real
+        bytes that no eviction walk would otherwise ever see. The grace
+        period keeps this from racing a live writer mid-``_persist``."""
+        now = time.time()
+        for payload_path in self.directory.glob("*" + _PAYLOAD_SUFFIX):
+            if payload_path.name.startswith(_TMP_PREFIX):
+                continue
+            sidecar_path = payload_path.with_suffix(_SIDECAR_SUFFIX)
+            if sidecar_path.exists():
+                continue
+            try:
+                age = now - payload_path.stat().st_mtime
+            except OSError:
+                continue
+            if age > _ORPHAN_GRACE_SECONDS:
+                _unlink_quietly(payload_path)
+
+
+def _unlink_quietly(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass

@@ -158,11 +158,22 @@ def iter_in_pool(
     results = pool.imap_unordered(partial(_indexed_apply, fn), list(enumerate(items)))
 
     def _drain():
+        exhausted = False
         try:
             yield None  # priming point (consumed below): arms the finally
             yield from results
+            exhausted = True
         finally:
-            pool.terminate()
+            # clean exhaustion closes the pool and lets workers exit on
+            # their own (atexit handlers and all); terminate() SIGTERMs
+            # them, which could catch user-supplied engine code mid-write
+            # to whatever external state it holds — needless on the happy
+            # path, so it is reserved for abandonment (close()/break/GC
+            # mid-stream), where undelivered results are discarded anyway
+            if exhausted:
+                pool.close()
+            else:
+                pool.terminate()
             pool.join()
 
     # enter the generator before handing it out: close() on an unstarted

@@ -327,8 +327,11 @@ class StressTest:
     def run_many(self, scenarios, workers: int = 1, accountant=None, cache=None):
         """Fan a batch of scenarios across a process pool; see
         :func:`repro.api.batch.run_batch` for semantics. ``cache`` (a
-        :class:`~repro.api.cache.ScenarioCache` or ``True``) reuses
-        results of scenarios identical to previously-executed ones."""
+        :class:`~repro.api.cache.ScenarioCache`, ``True``, or a directory
+        path for the restart-surviving
+        :class:`~repro.api.diskcache.PersistentScenarioCache`) reuses
+        results of scenarios identical to previously-executed ones —
+        without re-charging the accountant."""
         from repro.api.batch import run_batch
 
         return run_batch(
@@ -350,7 +353,9 @@ class StressTest:
         / ``close()``) refunds the accountant for the pre-charged
         releasing scenarios that never completed. The per-scenario
         results are bit-identical to :meth:`run_many`'s; only the arrival
-        order (and the absence of a barrier) differs.
+        order (and the absence of a barrier) differs. ``cache`` accepts
+        the same values as :meth:`run_many` (including a directory path
+        for the persistent on-disk cache).
         """
         from repro.api.batch import run_batch
 

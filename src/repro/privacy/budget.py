@@ -15,11 +15,65 @@ from typing import List
 
 from repro.exceptions import PrivacyBudgetExceeded, SensitivityError
 
-__all__ = ["BudgetCharge", "PrivacyAccountant", "DEFAULT_EPSILON_MAX"]
+__all__ = [
+    "BudgetCharge",
+    "PrivacyAccountant",
+    "DEFAULT_EPSILON_MAX",
+    "whole_releases",
+]
 
 #: The paper's choice: an adversary's confidence in any fact about the
 #: input may at most double, so ``e^eps = 2``.
 DEFAULT_EPSILON_MAX = math.log(2.0)
+
+
+def whole_releases(epsilon_max: float, epsilon_per_query: float) -> int:
+    """Largest number of ``epsilon_per_query``-sized releases that fit in
+    ``epsilon_max``.
+
+    Plain ``int()`` truncation misreads binary float division:
+    ``0.6 / 0.2`` is ``2.999...96``, which must count as 3 releases, not
+    2. Instead of trusting the quotient, the floor is bumped by one
+    exactly when that extra release would still *fit* under
+    :meth:`PrivacyAccountant.can_afford`'s absolute ``1e-12`` slack,
+    after reserving headroom for the left-to-right summation drift that
+    :attr:`PrivacyAccountant.spent` accumulates over ``count`` charges —
+    so the count this function reports is chargeable by construction: a
+    budget genuinely short of N releases (``epsilon_max = 0.6 - 1e-10``
+    against 0.2-sized queries, or ``10 - 2e-12`` against 2.0-sized ones)
+    answers N-1, never an N whose last charge would raise — and neither
+    does a million-release schedule whose cumulative rounding exceeds
+    the slack — while the paper's ``ln 2 / 0.23 = 3.01…`` still answers
+    3.
+    """
+    if epsilon_per_query <= 0:
+        raise SensitivityError("epsilon per query must be positive")
+    if epsilon_max < 0:
+        raise SensitivityError("epsilon_max cannot be negative")
+
+    def _fits(n: int) -> bool:
+        # worst-case |naive-sum(n terms of q) - n*q| grows ~ n * ulp(n*q);
+        # 2e-16 over-covers the 1.1e-16 unit roundoff with margin
+        drift = n * n * epsilon_per_query * 2e-16
+        return n * epsilon_per_query + drift <= epsilon_max + 1e-12
+
+    # the fit check governs in both directions: the floor is bumped when
+    # one more release fits, and walked down when the floor itself does
+    # not (an exact binary quotient like 1.0/1e-6 floors to a count whose
+    # accumulated charges would overshoot the slack). _fits is monotone
+    # in n, so the walk-down is a binary search — a tiny per-query
+    # epsilon (count ~ 1e12) answers in ~40 probes, never a linear scan
+    count = math.floor(epsilon_max / epsilon_per_query)
+    if _fits(count + 1):
+        return int(count + 1)
+    lo, hi = 0, count
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if _fits(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return int(lo)
 
 
 @dataclass(frozen=True)
@@ -98,7 +152,8 @@ class PrivacyAccountant:
 
     def queries_per_period(self, epsilon_per_query: float) -> int:
         """How many identical releases fit in one period — the paper's
-        '(ln 2)/0.23 = 3 runs per year' computation."""
-        if epsilon_per_query <= 0:
-            raise SensitivityError("epsilon per query must be positive")
-        return int(self.epsilon_max / epsilon_per_query)
+        '(ln 2)/0.23 = 3 runs per year' computation. Tolerant of float
+        division dust: an ``epsilon_max`` that is an exact multiple of
+        the per-query epsilon counts every release (see
+        :func:`whole_releases`)."""
+        return whole_releases(self.epsilon_max, epsilon_per_query)

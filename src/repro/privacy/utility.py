@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.crypto.rng import DeterministicRNG
 from repro.exceptions import SensitivityError
-from repro.privacy.budget import DEFAULT_EPSILON_MAX
+from repro.privacy.budget import DEFAULT_EPSILON_MAX, whole_releases
 from repro.privacy.dollar import DollarPrivacySpec
 
 __all__ = [
@@ -53,10 +53,10 @@ def epsilon_for_precision(
 
 
 def runs_per_year(epsilon_query: float, epsilon_max: float = DEFAULT_EPSILON_MAX) -> int:
-    """How many releases the yearly budget supports."""
-    if epsilon_query <= 0:
-        raise SensitivityError("epsilon per query must be positive")
-    return int(epsilon_max / epsilon_query)
+    """How many releases the yearly budget supports (float-dust tolerant:
+    an exact-multiple budget counts every release — see
+    :func:`repro.privacy.budget.whole_releases`)."""
+    return whole_releases(epsilon_max, epsilon_query)
 
 
 @dataclass(frozen=True)

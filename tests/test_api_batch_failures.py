@@ -213,3 +213,140 @@ def test_bad_program_string_in_scenario_lists_programs(template):
     message = str(excinfo.value)
     assert "typo-program" in message
     assert "eisenberg-noe" in message and "elliott-golub-jackson" in message
+
+
+# ----------------------------------------------------- refund on failure --
+
+
+class CrashingReleasingEngine(Engine):
+    """Releasing engine that dies before releasing anything: its eager
+    pre-charge must come back — the budget pays for releases, not tries."""
+
+    name = "test-crash-release"
+    releases_output = True
+
+    def execute(self, program, graph, iterations, config, accountant=None):
+        raise ProtocolError("died before the output was noised")
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_failed_release_is_refunded_in_barriered_batch(template, tmp_path, workers):
+    marker = str(tmp_path / "executions.log")
+    accountant = PrivacyAccountant(epsilon_max=math.log(2))
+    scenarios = [
+        Scenario(name="good", engine=MarkerEngine(marker), epsilon=0.2),
+        Scenario(name="bad", engine=CrashingReleasingEngine(), epsilon=0.3),
+    ]
+    batch = template.run_many(scenarios, workers=workers, accountant=accountant)
+    assert batch.by_name("good").ok and not batch.by_name("bad").ok
+    # only the release that actually happened stays on the books
+    assert accountant.spent == pytest.approx(0.2)
+    assert batch.epsilon_charged == pytest.approx(0.2)
+    assert [c.label for c in accountant.charges] == ["good"]
+
+
+def test_every_release_failing_refunds_the_whole_batch(template):
+    accountant = PrivacyAccountant(epsilon_max=math.log(2))
+    scenarios = [
+        Scenario(name=f"bad-{i}", engine=CrashingReleasingEngine(), epsilon=0.2)
+        for i in range(3)
+    ]
+    batch = template.run_many(scenarios, workers=1, accountant=accountant)
+    assert not any(o.ok for o in batch)
+    assert accountant.spent == 0.0
+    assert batch.epsilon_charged == 0.0
+
+
+def test_failed_release_is_refunded_in_streaming_batch(template, tmp_path):
+    marker = str(tmp_path / "executions.log")
+    accountant = PrivacyAccountant(epsilon_max=math.log(2))
+    scenarios = [
+        Scenario(name="bad", engine=CrashingReleasingEngine(), epsilon=0.3),
+        Scenario(name="good", engine=MarkerEngine(marker), epsilon=0.2),
+    ]
+    outcomes = list(
+        template.run_many_iter(scenarios, workers=1, accountant=accountant)
+    )
+    assert {o.name: o.ok for o in outcomes} == {"bad": False, "good": True}
+    assert accountant.spent == pytest.approx(0.2)
+
+
+def test_streaming_failure_refund_does_not_double_on_abandon(template, tmp_path):
+    marker = str(tmp_path / "executions.log")
+    accountant = PrivacyAccountant(epsilon_max=math.log(2))
+    scenarios = [
+        Scenario(name="bad", engine=CrashingReleasingEngine(), epsilon=0.3),
+        Scenario(name="good", engine=MarkerEngine(marker), epsilon=0.2),
+    ]
+    stream = template.run_many_iter(scenarios, workers=1, accountant=accountant)
+    assert accountant.spent == pytest.approx(0.5)  # eager pre-charge
+    first = next(stream)
+    assert first.name == "bad" and not first.ok
+    # the completed-but-failed release was refunded the moment it landed
+    assert accountant.spent == pytest.approx(0.2)
+    stream.close()
+    # abandoning refunds the never-run 'good' once — and 'bad' only once
+    assert accountant.spent == 0.0
+
+
+# --------------------------------------------------------- pool teardown --
+
+
+class _RecordingPool:
+    """Wraps a real pool to record which teardown path ran."""
+
+    def __init__(self, pool, events):
+        self._pool = pool
+        self._events = events
+
+    def imap_unordered(self, *args, **kwargs):
+        return self._pool.imap_unordered(*args, **kwargs)
+
+    def close(self):
+        self._events.append("close")
+        self._pool.close()
+
+    def terminate(self):
+        self._events.append("terminate")
+        self._pool.terminate()
+
+    def join(self):
+        self._events.append("join")
+        self._pool.join()
+
+
+def _double(value):
+    return 2 * value
+
+
+def _recording_create_pool(monkeypatch):
+    from repro.api import pool as pool_mod
+
+    events = []
+    real_create = pool_mod.create_pool
+    monkeypatch.setattr(
+        pool_mod,
+        "create_pool",
+        lambda n, **kw: _RecordingPool(real_create(n, **kw), events),
+    )
+    return pool_mod, events
+
+
+def test_iter_in_pool_closes_gracefully_on_clean_exhaustion(monkeypatch):
+    # terminate() SIGTERMs workers, which could catch user-supplied engine
+    # code mid-write to its own external state; a fully-drained pool must
+    # close and let workers exit on their own instead
+    pool_mod, events = _recording_create_pool(monkeypatch)
+    results = pool_mod.iter_in_pool(_double, [1, 2, 3], workers=2)
+    assert sorted(value for _, value in results) == [2, 4, 6]
+    assert "close" in events and "join" in events
+    assert "terminate" not in events
+
+
+def test_iter_in_pool_terminates_on_abandonment(monkeypatch):
+    pool_mod, events = _recording_create_pool(monkeypatch)
+    stream = pool_mod.iter_in_pool(_double, [1, 2, 3, 4], workers=2)
+    next(stream)  # take one result, then walk away
+    stream.close()
+    assert "terminate" in events and "join" in events
+    assert "close" not in events

@@ -388,9 +388,13 @@ def test_streamed_duplicates_isolated_from_primary_mutation(template):
     assert duplicate.result.trajectory == pristine
 
 
-def test_cache_argument_validation(template):
+def test_cache_argument_validation(template, tmp_path):
     with pytest.raises(ConfigurationError, match="cache must be"):
-        template.run_many(_sweep(1), cache="yes-please")
+        template.run_many(_sweep(1), cache=42)
+    # a string is a directory path now: it builds the persistent cache
+    batch = template.run_many(_sweep(1), cache=str(tmp_path / "store"))
+    assert batch.cache_misses == 1
+    assert (tmp_path / "store").is_dir()
 
 
 def test_impostor_engine_class_never_hits_the_real_ones_cache(template):

@@ -6,6 +6,7 @@ import pytest
 
 from repro.crypto.rng import DeterministicRNG
 from repro.exceptions import SensitivityError
+from repro.privacy.budget import PrivacyAccountant, whole_releases
 from repro.privacy.dollar import DollarPrivacySpec
 from repro.privacy.edge_privacy import (
     EdgePrivacyAnalysis,
@@ -88,6 +89,66 @@ class TestUtilityAnalysis:
         assert stats["p95_abs_error"] < 300e9
         assert stats["median_abs_error"] < 100e9
         assert stats["relative_p95_error"] < 0.6
+
+
+class TestQueriesPerPeriod:
+    """Regression: float-division dust must not swallow a whole release."""
+
+    def test_exact_multiple_is_not_truncated(self):
+        # 0.6/0.2 == 2.999...96 in binary floats; truncation said 2
+        assert PrivacyAccountant(epsilon_max=0.6).queries_per_period(0.2) == 3
+        assert PrivacyAccountant(epsilon_max=0.9).queries_per_period(0.3) == 3
+        assert whole_releases(0.7, 0.1) == 7
+
+    def test_paper_ln2_over_023_is_three(self):
+        # the §4.5 computation the accountant exists to answer
+        assert PrivacyAccountant().queries_per_period(0.23) == 3
+        assert PrivacyAccountant().queries_per_period(math.log(2)) == 1
+
+    def test_genuinely_partial_quotients_still_floor(self):
+        assert PrivacyAccountant(epsilon_max=0.5).queries_per_period(0.2) == 2
+        assert PrivacyAccountant().queries_per_period(0.7) == 0
+
+    def test_reported_count_is_always_chargeable(self):
+        # a budget genuinely short of N queries must answer N-1: the
+        # slack forgives division dust (~1e-16), not real deficits whose
+        # last charge would raise — including epsilon_max > 1, where a
+        # relative tolerance would out-scale can_afford's absolute one
+        for epsilon_max, per_query, expected in (
+            (0.6 - 1e-10, 0.2, 2),
+            (10 - 2e-12, 2.0, 4),
+            (0.6, 0.2, 3),
+        ):
+            accountant = PrivacyAccountant(epsilon_max=epsilon_max)
+            count = accountant.queries_per_period(per_query)
+            assert count == expected
+            for _ in range(count):
+                accountant.charge(per_query)  # every reported release fits
+
+    def test_large_schedules_account_for_summation_drift(self):
+        # a million 1e-6 charges accumulate ~8e-12 of left-to-right
+        # rounding in `spent` — past can_afford's 1e-12 slack — so the
+        # exact-quotient million must NOT be reported (its last charge
+        # would be refused); the drift headroom keeps the answer honest
+        assert whole_releases(1.0, 1e-6) == 999_999
+        # the walk-down is a binary search: a pathologically tiny query
+        # epsilon answers immediately instead of decrementing 1e12 times
+        huge = whole_releases(1.0, 1e-12)
+        assert 0 < huge <= 10**12
+
+    def test_whole_releases_validates_epsilon_max(self):
+        with pytest.raises(SensitivityError):
+            whole_releases(-1.0, 0.2)
+        assert whole_releases(0.0, 0.2) == 0  # an empty budget: no releases
+
+    def test_runs_per_year_shares_the_fix(self):
+        assert runs_per_year(0.2, epsilon_max=0.6) == 3
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(SensitivityError):
+            PrivacyAccountant().queries_per_period(0.0)
+        with pytest.raises(SensitivityError):
+            whole_releases(0.6, -0.1)
 
 
 class TestEdgePrivacy:
