@@ -46,6 +46,7 @@ from repro.core.rounds import run_rounds_async
 from repro.core.transport import (
     Transport,
     attach_wan_extras,
+    attach_wire_extras,
     check_transport_spec,
     transport_from_spec,
     wan_meter_snapshot,
@@ -119,22 +120,31 @@ class AsyncEngine(Engine):
         }
         inboxes = {v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids}
 
-        final_states, trajectory = run_coroutine(
-            run_rounds_async(
-                graph=graph,
-                update=lambda _vid, state, messages: program.float_update(
-                    state, messages, degree_bound
-                ),
-                observe=oracle._aggregate_float,
-                states=states,
-                inboxes=inboxes,
-                iterations=iterations,
-                transport=bus,
-                fill=NO_OP_MESSAGE,
-                max_tasks=self.tasks,
-                overlap=self.overlap,
+        # a bus built here from a string spec is this run's to tear down
+        # (a "tcp" spec owns sockets and an io thread); a caller-supplied
+        # instance stays open — its mesh may span further runs
+        engine_owned = bus is not self.transport
+        try:
+            final_states, trajectory = run_coroutine(
+                run_rounds_async(
+                    graph=graph,
+                    update=lambda _vid, state, messages: program.float_update(
+                        state, messages, degree_bound
+                    ),
+                    observe=oracle._aggregate_float,
+                    states=states,
+                    inboxes=inboxes,
+                    iterations=iterations,
+                    transport=bus,
+                    fill=NO_OP_MESSAGE,
+                    max_tasks=self.tasks,
+                    overlap=self.overlap,
+                )
             )
-        )
+        except BaseException as exc:
+            if engine_owned:
+                bus.close(error=exc)
+            raise
 
         run = PlaintextRun(
             aggregate=oracle._aggregate_float(final_states),
@@ -153,6 +163,9 @@ class AsyncEngine(Engine):
             }
         )
         attach_wan_extras(result, bus, before)
+        attach_wire_extras(result, bus)
+        if engine_owned:
+            bus.close()
         return result
 
 

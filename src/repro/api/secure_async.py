@@ -44,6 +44,7 @@ from repro.api.result import RunResult
 from repro.core.secure_engine import SecureEngine
 from repro.core.transport import (
     Transport,
+    attach_wire_extras,
     check_transport_spec,
     transport_from_spec,
     wan_meter_snapshot,
@@ -90,16 +91,25 @@ class SecureAsyncEngine(Engine):
         before = wan_meter_snapshot(bus)
 
         engine = SecureEngine(program, config)
-        result = run_coroutine(
-            engine.run_async(
-                graph,
-                iterations,
-                transport=bus,
-                accountant=accountant,
-                max_tasks=self.tasks,
-                overlap=self.overlap,
+        # as in the async engine: a bus built here from a string spec (a
+        # "tcp" mesh with sockets and an io thread) is closed by this run,
+        # success or failure; caller-supplied instances stay open
+        engine_owned = bus is not self.transport
+        try:
+            result = run_coroutine(
+                engine.run_async(
+                    graph,
+                    iterations,
+                    transport=bus,
+                    accountant=accountant,
+                    max_tasks=self.tasks,
+                    overlap=self.overlap,
+                )
             )
-        )
+        except BaseException as exc:
+            if engine_owned:
+                bus.close(error=exc)
+            raise
 
         run_result = RunResult(
             engine=self.name,
@@ -126,6 +136,9 @@ class SecureAsyncEngine(Engine):
             raw=result,
         )
         self._attach_bus_extras(run_result, bus, before)
+        attach_wire_extras(run_result, bus)
+        if engine_owned:
+            bus.close()
         return run_result
 
     @staticmethod
@@ -138,8 +151,9 @@ class SecureAsyncEngine(Engine):
         counts, OT-extension links) is strictly richer than the bus's
         delivery log, so the bus contributes only the delay model.
         """
-        from repro.core.transport import SimulatedWanTransport
+        from repro.core.transport import SimulatedWanTransport, innermost_transport
 
+        bus = innermost_transport(bus)
         if isinstance(bus, SimulatedWanTransport):
             run_result.extras["simulated_seconds"] = bus.simulated_seconds - before[0]
             run_result.extras["wan_bytes"] = bus.meter.total_bytes_sent - before[1]

@@ -253,7 +253,18 @@ async def run_rounds_async(
             state, _ = update(vid, state, inbox)
             record(iterations, vid, state)
 
-        await asyncio.gather(*(vertex_pipeline(vid) for vid in vertex_ids))
+        # first failure cancels the siblings: a transport fault (dropped
+        # delivery, dead peer) raises in one pipeline while the others are
+        # parked on their own barriers — on a real-socket bus each would
+        # otherwise sit out its full I/O timeout before the error surfaces
+        tasks = [asyncio.ensure_future(vertex_pipeline(vid)) for vid in vertex_ids]
+        try:
+            await asyncio.gather(*tasks)
+        except BaseException:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            raise
     else:
         # Sequential reference schedule over the same bus: compute every
         # vertex, then await every send one at a time, then gather — no

@@ -28,10 +28,16 @@ travels:
   :class:`~repro.simulation.netsim.TrafficMeter`. Delays never change
   payloads, so results stay bit-identical to the in-memory path — only
   wall-clock and the meters move.
-* :class:`FaultInjectingTransport` — drops or duplicates selected
-  deliveries so the failure path is testable: a faulted round raises a
+* :class:`FaultInjectingTransport` — a chaos *wrapper* that drops or
+  duplicates selected deliveries over any inner bus so the failure path
+  is testable: a faulted round raises a
   :class:`~repro.exceptions.TransportError` naming the link and round
   instead of hanging the gather.
+* ``transport="tcp"`` — the real-socket backend
+  (:class:`repro.net.transport.TcpTransport`, registered here, imported
+  lazily): the same protocol over framed asyncio TCP streams between
+  genuine OS processes, mesh shape taken from the ``REPRO_TCP_*``
+  environment (or pass a connected instance; see :mod:`repro.net`).
 
 Determinism contract: transports deliver *values* into slots; they never
 reorder slots, merge payloads, or touch floats. Whatever the scheduling,
@@ -60,8 +66,10 @@ __all__ = [
     "FaultInjectingTransport",
     "transport_from_spec",
     "check_transport_spec",
+    "innermost_transport",
     "wan_meter_snapshot",
     "attach_wan_extras",
+    "attach_wire_extras",
     "validate_wan_params",
 ]
 
@@ -189,7 +197,7 @@ class Transport(ABC):
         """
         key = (vertex_id, round_index)
         if self._expected[vertex_id] > 0:
-            await self._event(key).wait()
+            await self._await_round(key)
         faults = self._faulted.pop(key, None)
         if faults:
             raise TransportError(
@@ -203,7 +211,38 @@ class Transport(ABC):
             return [self._fill] * self._graph.degree_bound
         return [self._fill if value is _EMPTY else value for value in slots]
 
+    async def fault_delivery(
+        self, src: int, dst: int, in_slot: int, round_index: int, description: str
+    ) -> None:
+        """Account one delivery that will never arrive (the chaos wrapper's
+        drop path): the round barrier still resolves, and the victim's
+        gather raises a :class:`TransportError` carrying ``description``.
+        Buses whose mailboxes live on another thread/loop (the real-socket
+        transport) override this to account the fault over there.
+        """
+        self._fault((dst, round_index), description)
+
+    def close(self, error: Optional[BaseException] = None) -> None:
+        """Release any resources the bus holds (sockets, loops, threads).
+
+        The in-process buses hold none, so this is a no-op; engines call
+        it in a ``finally`` for every bus they built themselves from a
+        string spec, which is what lets ``transport="tcp"`` tear its mesh
+        down (with ``error`` as the announced abort cause) even when the
+        run fails.
+        """
+
     # -- shared mailbox mechanics ---------------------------------------------
+
+    async def _await_round(self, key: Tuple[int, int]) -> None:
+        """Block until ``key``'s round barrier resolves.
+
+        The one overridable wait inside :meth:`gather_round`: the
+        in-process buses wait on the mailbox event alone (nothing else can
+        happen), while the real-socket transport races it against peer
+        failure and an I/O timeout so a dead peer can never hang a round.
+        """
+        await self._event(key).wait()
 
     def _event(self, key: Tuple[int, int]) -> asyncio.Event:
         event = self._events.get(key)
@@ -368,20 +407,29 @@ class SimulatedWanTransport(InMemoryTransport):
             await asyncio.sleep(delay)
 
 
-class FaultInjectingTransport(InMemoryTransport):
-    """An in-memory bus that misbehaves on selected deliveries.
+class FaultInjectingTransport(Transport):
+    """A chaos wrapper that misbehaves on selected deliveries — over any bus.
 
     ``drop`` / ``duplicate`` are sets of ``(src, dst, round_index)``
-    triples. On the async path, a dropped delivery never arrives but *is*
-    accounted at the round barrier, so the victim's gather raises a
+    triples; ``inner`` is the bus that actually carries everything else
+    (default: a fresh :class:`InMemoryTransport`, the historical
+    behavior — but wrapping a :class:`SimulatedWanTransport` or a
+    real-socket ``TcpTransport`` injects the same chaos against a metered
+    or genuinely networked mesh). On the async path, a dropped delivery
+    never reaches the inner bus but *is* accounted at its round barrier
+    (:meth:`Transport.fault_delivery`), so the victim's gather raises a
     :class:`TransportError` naming the link instead of hanging; a
-    duplicated delivery arrives twice, tripping the duplicate check in
-    the sender's task. On the synchronous path (sequential engines, the
+    duplicated delivery goes through the inner bus twice, tripping the
+    duplicate check. On the synchronous path (sequential engines, the
     sharded barrier) each :meth:`deliver_outboxes` call is one round —
     counted from the start of the execution, since every engine opens
     the bus per run — and the same faults raise at that round's
     delivery. Used by the fault-path tests and available for chaos-style
     batch runs over any engine.
+
+    When the inner bus is shared across real processes (TCP), give every
+    replica the *same* fault sets: chaos is part of the replicated
+    schedule, exactly like the payloads.
     """
 
     name = "faulty"
@@ -390,21 +438,29 @@ class FaultInjectingTransport(InMemoryTransport):
         self,
         drop: Iterable[Tuple[int, int, int]] = (),
         duplicate: Iterable[Tuple[int, int, int]] = (),
+        inner: Optional[Transport] = None,
     ) -> None:
         self.drop: Set[Tuple[int, int, int]] = set(drop)
         self.duplicate: Set[Tuple[int, int, int]] = set(duplicate)
+        self.inner: Transport = inner if inner is not None else InMemoryTransport()
         self._sync_round = 0
 
     def open(self, graph, fill):
-        super().open(graph, fill)
+        self.inner.open(graph, fill)
         self._sync_round = 0
 
+    def close(self, error: Optional[BaseException] = None) -> None:
+        self.inner.close(error)
+
+    async def gather_round(self, vertex_id, round_index):
+        return await self.inner.gather_round(vertex_id, round_index)
+
     def deliver_outboxes(self, graph, outboxes, fill):
-        # delegate the actual slot routing to the reference bus (one copy
-        # of the routing contract), then apply this round's faults on top
+        # delegate the actual slot routing to the inner bus (one copy of
+        # the routing contract), then apply this round's faults on top
         round_index = self._sync_round
         self._sync_round += 1
-        inboxes = super().deliver_outboxes(graph, outboxes, fill)
+        inboxes = self.inner.deliver_outboxes(graph, outboxes, fill)
         dropped: List[str] = []
         for src, dst, fault_round in sorted(self.duplicate):
             if fault_round == round_index and dst in graph.vertex(src).out_neighbors:
@@ -429,14 +485,17 @@ class FaultInjectingTransport(InMemoryTransport):
         # graph's actual edges, so a fault triple naming a non-edge never
         # matches a send — inert on this path exactly as on the sync one
         if (src, dst, round_index) in self.drop:
-            self._fault(
-                (dst, round_index),
+            await self.inner.fault_delivery(
+                src,
+                dst,
+                in_slot,
+                round_index,
                 f"delivery {src}->{dst} (in-slot {in_slot}) was dropped",
             )
             return
-        self._deliver(src, dst, in_slot, payload, round_index)
+        await self.inner.send(src, dst, in_slot, payload, round_index)
         if (src, dst, round_index) in self.duplicate:
-            self._deliver(src, dst, in_slot, payload, round_index)
+            await self.inner.send(src, dst, in_slot, payload, round_index)
 
     async def convey(self, src, dst, num_bytes, round_index, kind="crypto"):
         # crypto payloads have no in-slot and no gather barrier, so both
@@ -453,18 +512,30 @@ class FaultInjectingTransport(InMemoryTransport):
                 "(crypto payloads are one-shot; a replay would desynchronize "
                 "the protocol transcript)"
             )
+        await self.inner.convey(src, dst, num_bytes, round_index, kind=kind)
+
+
+def _tcp_from_env(config, meter):
+    # lazy import: the in-process buses must not pay for (or depend on)
+    # the socket subsystem; the spec only resolves when actually asked for
+    from repro.net.transport import TcpTransport
+
+    return TcpTransport.from_env(config, meter=meter)
 
 
 #: String specs accepted anywhere a transport can be named.
 _TRANSPORT_SPECS = {
     "memory": lambda config, meter: InMemoryTransport(),
     "wan": lambda config, meter: SimulatedWanTransport.from_config(config, meter=meter),
+    "tcp": _tcp_from_env,
 }
 _TRANSPORT_ALIASES = {
     "in-memory": "memory",
     "inmemory": "memory",
     "simulated-wan": "wan",
     "wan-sim": "wan",
+    "socket": "tcp",
+    "sockets": "tcp",
 }
 
 
@@ -484,7 +555,7 @@ def check_transport_spec(spec, optional: bool = False):
     if not isinstance(spec, (str, Transport)):
         raise ConfigurationError(
             "transport must be a Transport instance or a name "
-            f"('memory' / 'wan'), got {type(spec).__name__}"
+            f"('memory' / 'wan' / 'tcp'), got {type(spec).__name__}"
         )
     if isinstance(spec, str):
         canonical = _TRANSPORT_ALIASES.get(spec, spec)
@@ -496,6 +567,17 @@ def check_transport_spec(spec, optional: bool = False):
     return spec
 
 
+def innermost_transport(bus) -> "Transport":
+    """Peel chaos (or future) wrappers off a bus: the transport that
+    actually carries the bytes. Wrappers expose the wrapped bus as
+    ``inner``; everything that introspects a bus's metering goes through
+    here so a wrapped WAN or TCP bus reports exactly like a bare one.
+    """
+    while isinstance(getattr(bus, "inner", None), Transport):
+        bus = bus.inner
+    return bus
+
+
 def wan_meter_snapshot(bus) -> Tuple[float, float]:
     """(simulated_seconds, metered bytes) of a bus before a run starts.
 
@@ -504,6 +586,7 @@ def wan_meter_snapshot(bus) -> Tuple[float, float]:
     therefore one cumulative meter) across several runs. Non-WAN buses
     snapshot as zeros.
     """
+    bus = innermost_transport(bus)
     if isinstance(bus, SimulatedWanTransport):
         return bus.simulated_seconds, bus.meter.total_bytes_sent
     return 0.0, 0.0
@@ -519,10 +602,28 @@ def attach_wan_extras(result, bus, before: Tuple[float, float]) -> None:
     ``extras["wan_bytes"]`` are this run's deltas against the ``before``
     snapshot from :func:`wan_meter_snapshot`. No-op for non-WAN buses.
     """
+    bus = innermost_transport(bus)
     if isinstance(bus, SimulatedWanTransport):
         result.traffic = bus.meter
         result.extras["simulated_seconds"] = bus.simulated_seconds - before[0]
         result.extras["wan_bytes"] = bus.meter.total_bytes_sent - before[1]
+
+
+def attach_wire_extras(result, bus) -> None:
+    """Stamp real-socket wire accounting onto a run result.
+
+    Duck-typed like :func:`attach_wan_extras` (any bus exposing a
+    ``wire_stats()`` mapping — the real-socket ``TcpTransport``, possibly
+    under a chaos wrapper), so this module never imports the socket
+    subsystem. No-op for in-process buses.
+    """
+    stats_fn = getattr(innermost_transport(bus), "wire_stats", None)
+    if not callable(stats_fn):
+        return
+    stats = stats_fn()
+    for key in ("frames_sent", "frames_received", "bytes_sent", "bytes_received"):
+        result.extras[f"wire_{key}"] = float(stats[key])
+    result.extras["wire_party_id"] = float(stats["party_id"])
 
 
 def transport_from_spec(

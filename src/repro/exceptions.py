@@ -45,4 +45,62 @@ class ConvergenceError(DStressError):
 
 class TransportError(DStressError):
     """A message-bus delivery fault: a dropped, duplicated, or timed-out
-    round message (see :mod:`repro.core.transport`)."""
+    round message (see :mod:`repro.core.transport`).
+
+    **The transport failure taxonomy** (this class and its subclasses) is
+    the one place every socket/bus failure mode maps onto. The contract
+    shared by all buses — in-memory, simulated WAN, fault-injecting, and
+    the real-socket :class:`~repro.net.transport.TcpTransport` — is that a
+    round which cannot complete raises one of these, naming the scenario
+    (where known), the directed link, and the round index. **Never a
+    hang.**
+
+    ============================  =========================================
+    failure mode                  raised class
+    ============================  =========================================
+    dropped / duplicated message  :class:`TransportError` (injected chaos)
+    garbage or malformed header   :class:`WireFormatError`
+    truncated frame buffer        :class:`WireFormatError`
+    oversized frame declared      :class:`FrameTooLargeError`
+    version / session mismatch    :class:`HandshakeError`
+    connect refused / timed out   :class:`PeerConnectError`
+    ECONNRESET / EPIPE            :class:`PeerDisconnectedError`
+    EOF mid-frame (partial read)  :class:`PeerDisconnectedError`
+    gather / barrier timeout      :class:`TransportTimeoutError`
+    ============================  =========================================
+    """
+
+
+class WireFormatError(TransportError):
+    """A frame on the wire violated the framed protocol: bad magic bytes,
+    unsupported protocol version, unknown message kind, a payload shorter
+    than its declared length (truncated buffer), or fields that do not
+    parse. Decoders raise this instead of over-reading or blocking."""
+
+
+class FrameTooLargeError(WireFormatError):
+    """A frame header declared a payload larger than the configured
+    ``max_frame_bytes`` — refused before any allocation, so a corrupt or
+    hostile length prefix cannot balloon memory or stall the read loop."""
+
+
+class HandshakeError(TransportError):
+    """The versioned HELLO exchange failed: protocol-version mismatch,
+    wrong session id (two clusters crossing wires), or a party id outside
+    the announced mesh."""
+
+
+class PeerConnectError(TransportError):
+    """A peer could not be dialed (or never dialed us) within the connect
+    timeout, after the configured retries with backoff."""
+
+
+class PeerDisconnectedError(TransportError):
+    """An established peer connection died: connection reset, broken
+    pipe, or EOF in the middle of a frame. Gathers and conveys that
+    depended on the dead peer raise this instead of hanging."""
+
+
+class TransportTimeoutError(TransportError):
+    """An I/O wait (round gather, handshake read, barrier) exceeded the
+    configured timeout while the connection itself stayed up."""
