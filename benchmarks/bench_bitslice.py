@@ -1,0 +1,209 @@
+"""Bit-sliced GMW vs the scalar evaluator: gate throughput (Figure 3/5 regime).
+
+The paper's §5 microbenchmarks (Figures 3-5) put GMW block evaluation on
+the critical path: every vertex of every round runs one boolean circuit
+under XOR sharing, and the evaluator's gate throughput bounds how large a
+block (party count) and degree bound the deployment can afford. The
+scalar evaluator pays Python interpreter overhead *per gate per
+instance*; the bit-sliced backend (``repro/mpc/bitslice.py``) packs 64
+circuit instances into one ``uint64`` lane word and evaluates whole
+layers as numpy array ops, with the randomness precomputed in an offline
+phase sized from ``mpc/cost.py``.
+
+Benchmarks (all parity-asserted against the scalar transcript before any
+timing — the lanes must be bit-identical, shares and ``pair_bits``
+included, or the speedup is meaningless):
+
+* ``test_scalar_gate_throughput`` — the scalar evaluator over a batch of
+  instances, one ``evaluate`` per instance.
+* ``test_bitsliced_gate_throughput`` — the same batch through
+  ``evaluate_batch`` (offline + online), same RNG draws.
+* ``test_bitsliced_online_phase`` — online phase only: pools are rebuilt
+  in the pedantic setup hook (they are single-use), so the timed region
+  is pure lane-wise array work — the part a deployment would overlap
+  with the next block's wire time.
+
+The scalar/bit-sliced pair is guarded in CI as a **ratio**
+(``BENCH_BASELINE.json`` ``ratios`` section): both means come from the
+same run on the same machine, so "bit-sliced must be ≥5x faster than
+scalar" is portable where a wall-clock mean would not be.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.crypto.rng import DeterministicRNG
+from repro.mpc.builder import CircuitBuilder
+from repro.mpc.bitslice import LANE_BITS, BitslicedGMWEngine, lane_words
+from repro.mpc.gmw import GMWEngine
+from tables import emit_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+#: Block size for the guarded throughput pair (paper sweeps 8-20).
+PARTIES = 3
+WIDTH = 8
+#: Circuit instances per batch: one full lane word in smoke mode, a few
+#: lane words otherwise (ragged on purpose — exercises the tail mask).
+INSTANCES = LANE_BITS if SMOKE else 3 * LANE_BITS + 17
+ROUNDS = 2 if SMOKE else 3
+
+
+def _mixed_circuit(width: int = WIDTH):
+    """Adder + comparison + masked AND: XOR/AND/NOT at depth, the same
+    gate mix the per-vertex DStress circuits produce."""
+    builder = CircuitBuilder()
+    a = builder.input_bus("a", width)
+    b = builder.input_bus("b", width)
+    total = builder.add(a, b)
+    builder.output_bus("sum", total)
+    builder.output_bus("lt", [builder.lt_unsigned(a, b)])
+    builder.output_bus("masked", builder.bitwise_and(total, builder.bitwise_not(b)))
+    return builder.circuit
+
+
+def _share_batch(engine, count, seed):
+    rng = DeterministicRNG(f"bench-bitslice-{seed}")
+    batch = []
+    for index in range(count):
+        batch.append(
+            {
+                "a": engine.share_input((index * 37) % 256, WIDTH, rng),
+                "b": engine.share_input((index * 101 + 7) % 256, WIDTH, rng),
+            }
+        )
+    return batch
+
+
+def _scalar_run(circuit, batch, seed):
+    engine = GMWEngine(PARTIES)
+    rng = DeterministicRNG(f"bench-eval-{seed}")
+    return [engine.evaluate(circuit, shares, rng) for shares in batch]
+
+
+def _bitsliced_run(circuit, batch, seed, pools=None):
+    engine = BitslicedGMWEngine(PARTIES)
+    rng = None if pools is not None else DeterministicRNG(f"bench-eval-{seed}")
+    return engine.evaluate_batch(circuit, batch, rng, pools=pools)
+
+
+def _assert_parity(circuit, batch):
+    """The admission bar: same RNG draws => bit-identical transcripts."""
+    scalar = _scalar_run(circuit, batch, seed=0)
+    sliced = _bitsliced_run(circuit, batch, seed=0)
+    for lane, reference in zip(sliced, scalar):
+        assert lane.output_shares == reference.output_shares
+        assert list(lane.traffic.pair_bits.items()) == list(
+            reference.traffic.pair_bits.items()
+        )
+
+
+def test_scalar_gate_throughput(benchmark):
+    circuit = _mixed_circuit()
+    engine = GMWEngine(PARTIES)
+    batch = _share_batch(engine, INSTANCES, seed=1)
+    _assert_parity(circuit, batch)
+    benchmark.pedantic(
+        lambda: _scalar_run(circuit, batch, seed=1), rounds=ROUNDS, iterations=1
+    )
+
+
+def test_bitsliced_gate_throughput(benchmark):
+    circuit = _mixed_circuit()
+    engine = BitslicedGMWEngine(PARTIES)
+    batch = _share_batch(engine, INSTANCES, seed=1)
+    _assert_parity(circuit, batch)
+    benchmark.pedantic(
+        lambda: _bitsliced_run(circuit, batch, seed=1), rounds=ROUNDS, iterations=1
+    )
+
+
+def test_bitsliced_online_phase(benchmark):
+    """Online phase alone: pools are single-use, so each timed round gets
+    a fresh pool from the (untimed) setup hook."""
+    circuit = _mixed_circuit()
+    engine = BitslicedGMWEngine(PARTIES)
+    batch = _share_batch(engine, INSTANCES, seed=2)
+    _assert_parity(circuit, batch)
+
+    def setup():
+        builder = engine.pool_builder(circuit)
+        rng = DeterministicRNG("bench-offline-2")
+        for _ in range(INSTANCES):
+            builder.add_instance(rng)
+        return (), {"pools": builder.build()}
+
+    benchmark.pedantic(
+        lambda pools: _bitsliced_run(circuit, batch, seed=2, pools=pools),
+        setup=setup,
+        rounds=ROUNDS,
+        iterations=1,
+    )
+
+    _emit_throughput_table(circuit)
+
+
+def _emit_throughput_table(circuit):
+    """The Figure 3/5 companion table: gate-instance throughput per
+    backend per block size, plus the offline/online split."""
+    ands = circuit.stats().and_gates
+    rows = []
+    for parties in (2, PARTIES) if SMOKE else (2, 3, 5):
+        for mode in ("ot", "beaver"):
+            scalar = GMWEngine(parties, mode=mode)
+            sliced = BitslicedGMWEngine(parties, mode=mode)
+            batch = _share_batch(scalar, INSTANCES, seed=3)
+
+            start = time.perf_counter()
+            scalar_rng = DeterministicRNG(f"bench-table-{parties}-{mode}")
+            for shares in batch:
+                scalar.evaluate(circuit, shares, scalar_rng)
+            scalar_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            builder = sliced.pool_builder(circuit)
+            offline_rng = DeterministicRNG(f"bench-table-{parties}-{mode}")
+            for _ in range(INSTANCES):
+                builder.add_instance(offline_rng)
+            pools = builder.build()
+            offline_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            sliced.evaluate_batch(circuit, batch, pools=pools)
+            online_s = time.perf_counter() - start
+
+            gate_instances = ands * INSTANCES
+            rows.append(
+                [
+                    mode,
+                    parties,
+                    gate_instances,
+                    f"{scalar_s * 1e3:.1f}",
+                    f"{offline_s * 1e3:.1f}",
+                    f"{online_s * 1e3:.1f}",
+                    f"{gate_instances / online_s / 1e3:.0f}",
+                    f"{scalar_s / (offline_s + online_s):.1f}x",
+                ]
+            )
+    emit_table(
+        "Bit-sliced GMW - AND-gate throughput vs the scalar evaluator",
+        [
+            "mode",
+            "N",
+            "AND-inst",
+            "scalar [ms]",
+            "offline [ms]",
+            "online [ms]",
+            "kAND/s online",
+            "speedup",
+        ],
+        rows,
+        [
+            f"{INSTANCES} circuit instances/batch packed into "
+            f"{lane_words(INSTANCES)} uint64 lane word(s), smoke={SMOKE}",
+            "offline = RNG replay + pool packing (cost.py-sized); online = lane ops only",
+            "every row parity-locked: shares and pair_bits bit-identical to scalar",
+            "speedup column compares scalar vs offline+online end to end",
+        ],
+    )

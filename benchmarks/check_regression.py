@@ -15,6 +15,15 @@ sleeps — a scheduling regression (an await that should overlap but
 doesn't) moves the number by integer factors, while machine speed moves
 it by percents. The 30% gate sits between the two.
 
+Compute-bound benchmarks (the bit-sliced GMW throughput pair in
+``bench_bitslice.py``) cannot be gated on a committed wall-clock mean —
+CI machine speed would dominate. They are guarded as **ratios** instead:
+the baseline's ``ratios`` section names a fast/slow benchmark pair and a
+minimum speedup, and both means come from the *same* run on the *same*
+machine, so the quotient is portable. Benchmarks listed in the
+baseline's ``volatile`` list are exempt from the mean comparison (and
+from ``--write-baseline``) precisely because a ratio entry covers them.
+
 Usage::
 
     # refresh the committed baseline (run on the reference machine):
@@ -51,6 +60,15 @@ def load_result_means(results_path: Path) -> Dict[str, float]:
 
 
 def write_baseline(means: Dict[str, float], baseline_path: Path) -> None:
+    """Rewrite the mean entries; carry the machine-portable sections
+    (``ratios``, ``volatile``) over from the existing baseline and keep
+    volatile benchmarks out of the mean table."""
+    existing = {}
+    if baseline_path.exists():
+        with baseline_path.open() as handle:
+            existing = json.load(handle)
+    volatile = list(existing.get("volatile", []))
+    means = {name: mean for name, mean in means.items() if name not in volatile}
     baseline = {
         "comment": (
             "Smoke-benchmark means (seconds) the CI regression guard compares "
@@ -59,6 +77,10 @@ def write_baseline(means: Dict[str, float], baseline_path: Path) -> None:
         "threshold": DEFAULT_THRESHOLD,
         "benchmarks": {name: {"mean": mean} for name, mean in sorted(means.items())},
     }
+    if volatile:
+        baseline["volatile"] = volatile
+    if existing.get("ratios"):
+        baseline["ratios"] = existing["ratios"]
     baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {len(means)} baseline entr{'y' if len(means) == 1 else 'ies'} to {baseline_path}")
 
@@ -78,12 +100,56 @@ def markdown_delta_table(rows) -> str:
     return "\n".join(lines)
 
 
+def markdown_ratio_table(rows) -> str:
+    lines = [
+        "### Speedup ratio guard",
+        "",
+        "| ratio | slow / fast | required | measured | verdict |",
+        "|---|---|---:|---:|---|",
+    ]
+    for name, pair, required, measured, verdict in rows:
+        measured_cell = f"{measured:.1f}x" if measured is not None else "-"
+        lines.append(
+            f"| `{name}` | {pair} | >= {required:.1f}x | {measured_cell} | {verdict} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def check_ratios(means: Dict[str, float], baseline: dict):
+    """Same-run speedup guards: ``means[slow] / means[fast]`` must reach
+    each entry's ``min_speedup``. Missing benchmarks fail loudly — a
+    silently skipped guard is how a 5x claim rots."""
+    rows = []
+    failures = []
+    for name, spec in sorted(baseline.get("ratios", {}).items()):
+        fast, slow = spec["fast"], spec["slow"]
+        required = float(spec["min_speedup"])
+        pair = f"`{slow}` / `{fast}`"
+        if fast not in means or slow not in means:
+            missing = [b for b in (fast, slow) if b not in means]
+            rows.append((name, pair, required, None, "MISSING from this run"))
+            failures.append(f"{name}: benchmark(s) missing from results: {missing}")
+            continue
+        measured = means[slow] / means[fast]
+        if measured < required:
+            verdict = f"FAIL (< {required:.1f}x)"
+            failures.append(
+                f"{name}: speedup {measured:.2f}x below required {required:.1f}x"
+            )
+        else:
+            verdict = "ok"
+        rows.append((name, pair, required, measured, verdict))
+    return rows, failures
+
+
 def check(means: Dict[str, float], baseline_path: Path, threshold: float) -> int:
     with baseline_path.open() as handle:
         baseline = json.load(handle)
     base_means = {
         name: float(entry["mean"]) for name, entry in baseline["benchmarks"].items()
     }
+    volatile = set(baseline.get("volatile", []))
     rows = []
     failures = []
     for name in sorted(set(means) | set(base_means)):
@@ -92,6 +158,10 @@ def check(means: Dict[str, float], baseline_path: Path, threshold: float) -> int
         if current is None:
             rows.append((name, base, float("nan"), None, "MISSING from this run"))
             failures.append(f"{name}: present in baseline but not in results")
+            continue
+        if name in volatile:
+            # compute-bound on purpose: gated by a ratio entry, not a mean
+            rows.append((name, None, current, None, "volatile (ratio-guarded)"))
             continue
         if base is None:
             # a new benchmark has no history to regress against: record it
@@ -106,7 +176,12 @@ def check(means: Dict[str, float], baseline_path: Path, threshold: float) -> int
             verdict = "ok"
         rows.append((name, base, current, delta, verdict))
 
+    ratio_rows, ratio_failures = check_ratios(means, baseline)
+    failures.extend(ratio_failures)
+
     table = markdown_delta_table(rows)
+    if ratio_rows:
+        table += "\n" + markdown_ratio_table(ratio_rows)
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a") as handle:
@@ -117,7 +192,10 @@ def check(means: Dict[str, float], baseline_path: Path, threshold: float) -> int
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
-    print(f"benchmark regression guard ok ({len(rows)} benchmarks within {threshold:.0%})")
+    print(
+        f"benchmark regression guard ok ({len(rows)} benchmarks within "
+        f"{threshold:.0%}, {len(ratio_rows)} speedup ratio(s) held)"
+    )
     return 0
 
 

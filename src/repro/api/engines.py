@@ -160,14 +160,28 @@ def _from_plaintext(
 
 
 class SecureDStressEngine(Engine):
-    """The full DStress protocol stack (§3.3–§3.6)."""
+    """The full DStress protocol stack (§3.3–§3.6).
+
+    ``backend="bitsliced"`` swaps the per-gate GMW loop for the numpy
+    lane evaluator with its offline/online phase split
+    (:mod:`repro.mpc.bitslice`); released outputs and metered traffic are
+    bit-identical to the default ``"scalar"`` backend.
+    """
 
     name = "secure"
     releases_output = True
 
+    def __init__(self, backend: str = "scalar") -> None:
+        if backend not in ("scalar", "bitsliced"):
+            raise ConfigurationError(
+                f"engine 'secure' has no backend {backend!r}; "
+                "choose 'scalar' or 'bitsliced'"
+            )
+        self.backend = backend
+
     def execute(self, program, graph, iterations, config, accountant=None):
         started = time.perf_counter()
-        result = SecureEngine(program, config).run(
+        result = SecureEngine(program, config, backend=self.backend).run(
             graph, iterations, accountant=accountant
         )
         return RunResult(

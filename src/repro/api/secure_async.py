@@ -20,6 +20,8 @@ Engine options (all reachable through the registry and batch scenarios)::
     .engine("secure-async", transport=bus)     # any Transport instance
     .engine("secure-async", overlap=False)     # sequential-over-the-bus
                                                # baseline (benchmark foil)
+    .engine("secure-async", backend="bitsliced")  # numpy lane GMW with
+                                               # offline/online split
 
 Determinism contract: released outputs are **bit-identical** to
 ``engine="secure"`` under the same seeds — every
@@ -42,6 +44,7 @@ from repro.api.engines import Engine, validate_intra_run_width
 from repro.api.registry import register_engine
 from repro.api.result import RunResult
 from repro.core.secure_engine import SecureEngine
+from repro.exceptions import ConfigurationError
 from repro.core.transport import (
     Transport,
     attach_wire_extras,
@@ -72,10 +75,17 @@ class SecureAsyncEngine(Engine):
         tasks: int = 4,
         transport: Union[str, Transport] = "memory",
         overlap: bool = True,
+        backend: str = "scalar",
     ) -> None:
+        if backend not in ("scalar", "bitsliced"):
+            raise ConfigurationError(
+                f"engine 'secure-async' has no backend {backend!r}; "
+                "choose 'scalar' or 'bitsliced'"
+            )
         self.tasks = validate_intra_run_width(tasks, self.name)
         self.transport = check_transport_spec(transport)
         self.overlap = bool(overlap)
+        self.backend = backend
 
     @property
     def intra_run_width(self) -> int:
@@ -90,7 +100,7 @@ class SecureAsyncEngine(Engine):
         # snapshot its counters so the extras below report *this* run.
         before = wan_meter_snapshot(bus)
 
-        engine = SecureEngine(program, config)
+        engine = SecureEngine(program, config, backend=self.backend)
         # as in the async engine: a bus built here from a string spec (a
         # "tcp" mesh with sockets and an io thread) is closed by this run,
         # success or failure; caller-supplied instances stay open

@@ -153,9 +153,25 @@ class _RunContext:
 
 
 class SecureEngine:
-    """Executes vertex programs under the full DStress protocol stack."""
+    """Executes vertex programs under the full DStress protocol stack.
 
-    def __init__(self, program: VertexProgram, config: Optional[DStressConfig] = None) -> None:
+    ``backend`` selects the GMW gate evaluator: ``"scalar"`` (default) is
+    the per-gate Python loop; ``"bitsliced"`` packs every computation
+    step's blocks into numpy uint64 lanes with an offline/online phase
+    split (see :mod:`repro.mpc.bitslice`). Both produce bit-identical
+    released outputs, shares, and metered traffic — the parity matrix
+    asserts it — so the choice is purely a throughput knob.
+    """
+
+    def __init__(
+        self,
+        program: VertexProgram,
+        config: Optional[DStressConfig] = None,
+        backend: str = "scalar",
+    ) -> None:
+        if backend not in ("scalar", "bitsliced"):
+            raise ConfigurationError(f"unknown secure backend {backend!r}")
+        self.backend = backend
         self.program = program
         self.config = config if config is not None else DStressConfig()
         if program.fmt.total_bits != self.config.fmt.total_bits:
@@ -340,11 +356,22 @@ class SecureEngine:
             bound: program.build_update_circuit(bound)
             for bound in sorted(set(vertex_bound.values()))
         }
-        gmw = GMWEngine(
-            block_size,
-            ot=SimulatedObliviousTransfer(config.group),
-            mode=config.gmw_mode,
-        )
+        if self.backend == "bitsliced":
+            # Imported lazily: numpy is an optional dependency and the
+            # scalar path must keep working without it.
+            from repro.mpc.bitslice import BitslicedGMWEngine
+
+            gmw: GMWEngine = BitslicedGMWEngine(
+                block_size,
+                ot=SimulatedObliviousTransfer(config.group),
+                mode=config.gmw_mode,
+            )
+        else:
+            gmw = GMWEngine(
+                block_size,
+                ot=SimulatedObliviousTransfer(config.group),
+                mode=config.gmw_mode,
+            )
         return _RunContext(
             graph=graph,
             iterations=iterations,
@@ -455,7 +482,16 @@ class SecureEngine:
         per-link bytes *after* metering it, so a driver can overlap the
         delivery of block ``b`` with the evaluation of block ``b + 1``
         simply by consuming the generator one item at a time.
+
+        With ``backend="bitsliced"`` the per-vertex evaluations are
+        batched into numpy lanes but the generator's contract — one link
+        batch per vertex, in vertex order, identical bytes — is unchanged,
+        so both drivers (and the secure-async scheduler) consume it
+        without knowing which backend ran.
         """
+        if self.backend == "bitsliced":
+            yield from self._computation_blocks_bitsliced(ctx)
+            return
         gmw = ctx.gmw
         meter = ctx.meter
         for view in ctx.graph.vertices():
@@ -466,6 +502,68 @@ class SecureEngine:
             for slot in range(bound):
                 shared_inputs[f"msg_in_{slot}"] = ctx.inbox_shares[v][slot]
             result = gmw.evaluate(ctx.circuits[bound], shared_inputs, ctx.rng)
+            ctx.state_shares[v] = {reg: result.output_shares[reg] for reg in registers}
+            ctx.outbox_shares[v] = [
+                result.output_shares[f"msg_out_{slot}"] for slot in range(bound)
+            ]
+            members = ctx.assignment.blocks[v]
+            link_bytes = self._meter_gmw(meter, members, result)
+            per_member_ots = result.traffic.ot_count // max(1, len(members))
+            for member in members:
+                meter.node(member).ot_transfers += per_member_ots
+            ctx.total_ots += result.traffic.ot_count
+            yield link_bytes
+
+    def _computation_blocks_bitsliced(self, ctx: _RunContext) -> Iterator[LinkBytes]:
+        """The bit-sliced computation step: offline, online, then emit.
+
+        **Offline** walks the vertices in vertex order — the transcript
+        order — drawing each block's per-gate randomness from ``ctx.rng``
+        exactly as a scalar ``gmw.evaluate`` call would (same forks, same
+        bytes), accumulating lane pools per circuit bound. **Online**
+        evaluates each bound's vertices as lanes of one RNG-free batch.
+        Results are then metered and yielded vertex by vertex, so state
+        updates, traffic accumulation order, and the per-link batches this
+        generator hands the round scheduler are bit-identical to the
+        scalar path's.
+        """
+        gmw = ctx.gmw
+        meter = ctx.meter
+
+        started = time.perf_counter()
+        builders: Dict[int, object] = {}
+        batch_inputs: Dict[int, List[Dict[str, List[int]]]] = {}
+        batch_vertices: Dict[int, List[int]] = {}
+        for view in ctx.graph.vertices():
+            v = view.vertex_id
+            bound = ctx.vertex_bound[v]
+            builder = builders.get(bound)
+            if builder is None:
+                builder = builders[bound] = gmw.pool_builder(ctx.circuits[bound])
+                batch_inputs[bound] = []
+                batch_vertices[bound] = []
+            shared_inputs = dict(ctx.state_shares[v])
+            for slot in range(bound):
+                shared_inputs[f"msg_in_{slot}"] = ctx.inbox_shares[v][slot]
+            builder.add_instance(ctx.rng)
+            batch_inputs[bound].append(shared_inputs)
+            batch_vertices[bound].append(v)
+        ctx.phases.add("gmw-offline", time.perf_counter() - started)
+
+        started = time.perf_counter()
+        results: Dict[int, object] = {}
+        for bound, builder in builders.items():
+            batch = gmw.evaluate_batch(
+                ctx.circuits[bound], batch_inputs[bound], pools=builder.build()
+            )
+            results.update(zip(batch_vertices[bound], batch))
+        ctx.phases.add("gmw-online", time.perf_counter() - started)
+
+        for view in ctx.graph.vertices():
+            v = view.vertex_id
+            bound = ctx.vertex_bound[v]
+            registers = self.program.state_registers(bound)
+            result = results[v]
             ctx.state_shares[v] = {reg: result.output_shares[reg] for reg in registers}
             ctx.outbox_shares[v] = [
                 result.output_shares[f"msg_out_{slot}"] for slot in range(bound)

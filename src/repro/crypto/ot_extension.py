@@ -30,7 +30,45 @@ from repro.crypto.ot import ObliviousTransfer, _mask, _xor
 from repro.crypto.rng import DeterministicRNG
 from repro.exceptions import ProtocolError
 
+try:  # numpy is optional: the pure-Python transpose below stays correct
+    import numpy as _np
+except ImportError:  # pragma: no cover - container always ships numpy
+    _np = None  # type: ignore[assignment]
+
 __all__ = ["IKNPOTExtension"]
+
+
+def _transpose_bits_python(cols: List[int], count: int) -> List[int]:
+    """Columns-to-rows bit transpose: ``rows[j]`` has bit ``i`` equal to
+    bit ``j`` of ``cols[i]`` (the IKNP matrix pivot)."""
+    rows = []
+    for j in range(count):
+        row = 0
+        for i, col in enumerate(cols):
+            row |= ((col >> j) & 1) << i
+        rows.append(row)
+    return rows
+
+
+def _transpose_bits_numpy(cols: List[int], count: int) -> List[int]:
+    """Batched-matrix form of the transpose: unpack every column into a
+    bit matrix, pivot it in one shot, repack rows. Bit-identical to
+    :func:`_transpose_bits_python` (little-endian bit ``j`` of an int's
+    little-endian bytes is exactly ``(value >> j) & 1``); asserted by
+    tests/test_mpc_bitslice.py."""
+    if count == 0:
+        return []
+    if not cols:
+        return [0] * count
+    col_bytes = (count + 7) // 8
+    raw = b"".join(col.to_bytes(col_bytes, "little") for col in cols)
+    matrix = _np.frombuffer(raw, dtype=_np.uint8).reshape(len(cols), col_bytes)
+    bits = _np.unpackbits(matrix, axis=1, bitorder="little")[:, :count]
+    packed = _np.packbits(bits.T, axis=1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
+
+
+_transpose_bits = _transpose_bits_python if _np is None else _transpose_bits_numpy
 
 
 class IKNPOTExtension(ObliviousTransfer):
@@ -93,14 +131,14 @@ class IKNPOTExtension(ObliviousTransfer):
             q_cols.append(int.from_bytes(chosen, "big"))
             self.base_ot_count += 1
 
-        # Transpose columns to rows and derive the pads.
+        # Transpose columns to rows (batched matrix pivot when numpy is
+        # available) and derive the pads.
+        t_rows = _transpose_bits(t_cols, m)
+        q_rows = _transpose_bits(q_cols, m)
         pool = []
         for j in range(m):
-            t_row = 0
-            q_row = 0
-            for i in range(self.kappa):
-                t_row |= ((t_cols[i] >> j) & 1) << i
-                q_row |= ((q_cols[i] >> j) & 1) << i
+            t_row = t_rows[j]
+            q_row = q_rows[j]
             r_j = (r >> j) & 1
             u0 = self._hash_row(j, q_row)
             u1 = self._hash_row(j, q_row ^ s)
@@ -112,6 +150,20 @@ class IKNPOTExtension(ObliviousTransfer):
             pool.append((u0, u1, r_j))
         self._pool.extend(pool)
         self.extension_phases += 1
+
+    def ensure(self, count: int, rng: DeterministicRNG) -> None:
+        """Offline-phase API: run extension phases until at least ``count``
+        random OTs sit in the pool, so an online loop consuming them never
+        pauses for a batch mid-round."""
+        if count < 0:
+            raise ProtocolError("cannot provision a negative OT count")
+        while len(self._pool) < count:
+            self._run_extension(rng)
+
+    @property
+    def pooled(self) -> int:
+        """Random OTs currently precomputed and unconsumed."""
+        return len(self._pool)
 
     # -- ObliviousTransfer interface -----------------------------------------
 

@@ -27,6 +27,19 @@ class CircuitError(DStressError):
     """A boolean circuit was malformed or evaluated incorrectly."""
 
 
+class OfflinePoolExhaustedError(ProtocolError):
+    """A bit-sliced GMW online phase asked for per-gate randomness the
+    offline phase never provisioned (wrong circuit, wrong instance count,
+    or a pool consumed twice).
+
+    The offline/online split (see DESIGN.md "Bit-sliced GMW") sizes the
+    Beaver-triple / OT-mask pools exactly from :func:`repro.mpc.cost.gmw_cost`;
+    running dry therefore means a provisioning *bug*, and the engine must
+    fail loudly rather than silently fall back to drawing fresh scalar
+    randomness — a fallback would both desynchronize the deterministic
+    transcript and hide the mis-sizing."""
+
+
 class PrivacyBudgetExceeded(DStressError):
     """An operation would exceed the remaining differential privacy budget."""
 

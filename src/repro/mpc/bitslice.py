@@ -1,0 +1,577 @@
+"""Bit-sliced GMW: whole gate layers as numpy ``uint64`` lane operations.
+
+The scalar :class:`~repro.mpc.gmw.GMWEngine` evaluates one gate of one
+circuit instance per Python step. This module packs the same computation
+across *instances*: lane ``l`` of every wire word is circuit instance
+``l`` (``l // 64`` selects the word, ``l % 64`` the bit), so a batch of
+``L`` instances occupies ``ceil(L / 64)`` words per wire per party::
+
+    wires : uint64[num_wires, parties, words]      bit l of word w  =
+    lane layout (one wire, one party):             instance 64*w + l
+        word 0: | inst 63 ... inst 1 inst 0 |
+        word 1: | inst 127 ... inst 65 inst 64 | (tail bits forced to 0)
+
+A whole :class:`~repro.mpc.circuit.CircuitLayer` of XOR gates is then one
+array XOR; an AND layer is a handful of broadcast ANDs/XOR-reductions.
+
+**Offline/online split.** All per-gate randomness is drawn in an offline
+phase (:class:`OfflinePoolBuilder`) *before* any gate is evaluated, in
+exactly the byte order the scalar engine would draw it — the same
+``rng.fork("gmw-party-p")`` calls, then bulk ``randbytes`` whose top bits
+are the scalar ``randbit()`` results (``randbit`` == ``randbits(1)``
+consumes one byte and keeps its top bit). Pools are sized from
+:func:`repro.mpc.cost.gmw_cost` and indexed by AND-gate *ordinal* in
+gate-list order, so the online phase may evaluate layers in any order
+while every gate consumes the same random bits as its scalar twin. The
+result: output shares — not just revealed outputs — and per-pair traffic
+are bit-identical to the scalar transcript. The online phase touches no
+RNG at all, so its latency is pure lane arithmetic (wire-bound once a
+real transport carries the precomputed masks).
+
+Requires numpy (an optional dependency: the core library stays pure
+stdlib); constructing :class:`BitslicedGMWEngine` without it raises
+:class:`~repro.exceptions.ConfigurationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.ot import ObliviousTransfer, SimulatedObliviousTransfer
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import (
+    ConfigurationError,
+    OfflinePoolExhaustedError,
+    ProtocolError,
+)
+from repro.mpc.circuit import Circuit, CircuitLayer, GateOp, layerize
+from repro.mpc.cost import gmw_cost
+from repro.mpc.gmw import GMWEngine, GMWResult, GMWTraffic
+
+try:  # pragma: no cover - exercised implicitly by every import site
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - container always ships numpy
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = [
+    "HAVE_NUMPY",
+    "LANE_BITS",
+    "BitslicedGMWEngine",
+    "OfflinePoolBuilder",
+    "OfflinePools",
+    "lane_words",
+    "pack_bits",
+    "pack_lane_axis",
+    "unpack_bits",
+    "unpack_lane_axis",
+]
+
+LANE_BITS = 64
+
+
+def require_numpy(feature: str = "bit-sliced GMW") -> None:
+    """Raise the library's named configuration error when numpy is absent."""
+    if not HAVE_NUMPY:
+        raise ConfigurationError(
+            f"{feature} requires numpy, which is not installed; "
+            'use the default backend="scalar" instead'
+        )
+
+
+def lane_words(count: int) -> int:
+    """Words needed to hold ``count`` lanes (0 lanes -> 0 words)."""
+    if count < 0:
+        raise ProtocolError("lane count must be non-negative")
+    return (count + LANE_BITS - 1) // LANE_BITS
+
+
+def _tail_mask(count: int) -> "np.ndarray":
+    """Per-word mask keeping lanes ``< count`` — the canonical-form
+    invariant: bits past the last instance are always zero, so whole-array
+    equality is meaningful in tests."""
+    words = lane_words(count)
+    mask = np.full(words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+    tail = count % LANE_BITS
+    if words and tail:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    return mask
+
+
+def pack_lane_axis(bits: "np.ndarray") -> "np.ndarray":
+    """Pack the last axis (one entry per lane, values 0/1) into uint64
+    words; shape ``(..., L)`` becomes ``(..., lane_words(L))``."""
+    require_numpy("lane packing")
+    bits = np.asarray(bits, dtype=np.uint64)
+    count = bits.shape[-1]
+    words = lane_words(count)
+    padded = np.zeros(bits.shape[:-1] + (words * LANE_BITS,), dtype=np.uint64)
+    padded[..., :count] = bits
+    shaped = padded.reshape(bits.shape[:-1] + (words, LANE_BITS))
+    shifts = np.arange(LANE_BITS, dtype=np.uint64)
+    return np.bitwise_or.reduce(shaped << shifts, axis=-1)
+
+
+def unpack_lane_axis(words: "np.ndarray", count: int) -> "np.ndarray":
+    """Inverse of :func:`pack_lane_axis`: expand the last (word) axis back
+    to ``count`` lanes of 0/1 ``uint8`` values (tail bits discarded)."""
+    require_numpy("lane unpacking")
+    words = np.asarray(words, dtype=np.uint64)
+    if count > words.shape[-1] * LANE_BITS:
+        raise ProtocolError(
+            f"cannot unpack {count} lanes from {words.shape[-1]} words"
+        )
+    shifts = np.arange(LANE_BITS, dtype=np.uint64)
+    bits = (words[..., :, None] >> shifts) & np.uint64(1)
+    flat = bits.reshape(words.shape[:-1] + (words.shape[-1] * LANE_BITS,))
+    return flat[..., :count].astype(np.uint8)
+
+
+def pack_bits(bits: Sequence[int]) -> "np.ndarray":
+    """Pack a flat 0/1 sequence into a 1-D lane-word vector."""
+    require_numpy("lane packing")
+    arr = np.asarray(list(bits), dtype=np.uint64)
+    if arr.size and bool((arr > 1).any()):
+        raise ProtocolError("lane values must be single bits (0 or 1)")
+    return pack_lane_axis(arr)
+
+
+def unpack_bits(words: "np.ndarray", count: int) -> List[int]:
+    """Unpack a 1-D lane-word vector back into a list of ``count`` bits."""
+    return [int(b) for b in unpack_lane_axis(words, count)]
+
+
+def _bits_from_bytes(raw: bytes) -> "np.ndarray":
+    """Top bit of each byte — exactly what ``DeterministicRNG.randbit``
+    returns per one-byte draw, so a bulk ``randbytes(n)`` reproduces ``n``
+    successive scalar ``randbit()`` calls."""
+    return np.frombuffer(raw, dtype=np.uint8) >> 7
+
+
+# ---------------------------------------------------------------------------
+# Offline phase: per-gate randomness pools
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OfflinePools:
+    """Lane-packed per-AND-gate randomness for a batch of instances.
+
+    ``ot_masks[g, i, j]`` holds, for AND ordinal ``g``, the mask bit party
+    ``i`` drew as OT *sender* toward receiver ``j`` (diagonal zero), one
+    lane per instance. In beaver mode ``triple_a/b/c[g, p]`` hold party
+    ``p``'s share of the dealer triple. Consumption is tracked per gate
+    ordinal; re-use or out-of-range access raises
+    :class:`OfflinePoolExhaustedError`.
+    """
+
+    mode: str
+    num_parties: int
+    num_instances: int
+    and_gates: int
+    ot_masks: Optional["np.ndarray"] = None  # (and_gates, n, n, words)
+    triple_a: Optional["np.ndarray"] = None  # (and_gates, n, words)
+    triple_b: Optional["np.ndarray"] = None
+    triple_c: Optional["np.ndarray"] = None
+    _consumed: "np.ndarray" = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._consumed is None:
+            self._consumed = np.zeros(self.and_gates, dtype=bool)
+
+    @property
+    def remaining(self) -> int:
+        """AND gates whose randomness has not been consumed yet."""
+        return int(self.and_gates - self._consumed.sum())
+
+    def _claim(self, ordinals: "np.ndarray") -> None:
+        if ordinals.size == 0:
+            return
+        if int(ordinals.max(initial=0)) >= self.and_gates or int(ordinals.min()) < 0:
+            raise OfflinePoolExhaustedError(
+                f"offline pool provisioned {self.and_gates} AND gates but the "
+                f"online phase asked for gate ordinal {int(ordinals.max())} — "
+                "pool built for a different circuit"
+            )
+        if bool(self._consumed[ordinals].any()):
+            raise OfflinePoolExhaustedError(
+                "offline randomness pool exhausted: AND-gate randomness "
+                "consumed twice (pools are single-use per batch)"
+            )
+        self._consumed[ordinals] = True
+
+    def take_ot(self, ordinals: "np.ndarray") -> "np.ndarray":
+        if self.mode != "ot" or self.ot_masks is None:
+            raise OfflinePoolExhaustedError(
+                f"pool holds {self.mode!r}-mode randomness, not OT masks"
+            )
+        self._claim(ordinals)
+        return self.ot_masks[ordinals]
+
+    def take_beaver(
+        self, ordinals: "np.ndarray"
+    ) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        if self.mode != "beaver" or self.triple_a is None:
+            raise OfflinePoolExhaustedError(
+                f"pool holds {self.mode!r}-mode randomness, not Beaver triples"
+            )
+        self._claim(ordinals)
+        return (
+            self.triple_a[ordinals],
+            self.triple_b[ordinals],
+            self.triple_c[ordinals],
+        )
+
+
+class OfflinePoolBuilder:
+    """Accumulates one batch's offline randomness, instance by instance,
+    consuming the parent RNG byte-for-byte as the scalar engine would.
+
+    Call :meth:`add_instance` once per circuit instance *in transcript
+    order* (for the secure engine: vertex order), interleaved freely with
+    other builders — each call consumes exactly the bytes the scalar
+    ``GMWEngine.evaluate`` would for that instance, so a mixed-bound walk
+    keeps the global RNG stream aligned. Then :meth:`build` packs lanes.
+    """
+
+    def __init__(self, circuit: Circuit, num_parties: int, mode: str) -> None:
+        require_numpy()
+        if mode not in ("ot", "beaver"):
+            raise ProtocolError(f"unknown GMW mode {mode!r}")
+        self.circuit = circuit
+        self.num_parties = num_parties
+        self.mode = mode
+        # Sized from the cost model, not by walking gates: the offline
+        # phase is exactly as trustworthy as gmw_cost's AND count (the
+        # cross-check test in tests/test_mpc_gmw.py pins the two together).
+        self.and_gates = gmw_cost(circuit, num_parties, 0, 0, mode=mode).and_gates
+        self._instances: List["np.ndarray"] = []
+        self._triples: List[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]] = []
+
+    @property
+    def num_instances(self) -> int:
+        return len(self._instances) if self.mode == "ot" else len(self._triples)
+
+    def add_instance(self, rng: DeterministicRNG) -> None:
+        n = self.num_parties
+        ands = self.and_gates
+        # Scalar transcript order, step 1: evaluate() forks one sub-stream
+        # per party (unconditionally, in both modes).
+        party_rngs = [rng.fork(f"gmw-party-{p}") for p in range(n)]
+        if self.mode == "ot":
+            # Step 2 (ot): per gate in list order, sender i draws one mask
+            # bit toward each j != i from its own fork — per-party streams
+            # are independent, so gate-major order per party is a straight
+            # byte run: ands * (n - 1) bytes, top bits kept.
+            cube = np.zeros((ands, n, n), dtype=np.uint8)
+            columns = np.arange(n)
+            for i, party_rng in enumerate(party_rngs):
+                raw = party_rng.randbytes(ands * (n - 1))
+                bits = _bits_from_bytes(raw).reshape(ands, n - 1)
+                cube[:, i, columns[columns != i]] = bits
+            self._instances.append(cube)
+        else:
+            # Step 2 (beaver): per gate in list order the *parent* rng
+            # draws: a_plain, b_plain (1 byte each), then three
+            # share_value(·, 1, n, rng) calls of n-1 one-byte draws each.
+            per_gate = 2 + 3 * (n - 1)
+            raw = rng.randbytes(ands * per_gate)
+            bits = _bits_from_bytes(raw).reshape(ands, per_gate)
+            a_plain = bits[:, 0]
+            b_plain = bits[:, 1]
+            c_plain = a_plain & b_plain
+            shares = []
+            for plain, lo in ((a_plain, 2), (b_plain, 2 + (n - 1)), (c_plain, 2 + 2 * (n - 1))):
+                draws = bits[:, lo : lo + (n - 1)]
+                last = plain ^ np.bitwise_xor.reduce(draws, axis=1) if n > 1 else plain
+                shares.append(np.concatenate([draws, last[:, None]], axis=1))
+            self._triples.append((shares[0], shares[1], shares[2]))
+
+    def build(self) -> OfflinePools:
+        count = self.num_instances
+        if self.mode == "ot":
+            stacked = (
+                np.stack(self._instances, axis=-1)
+                if count
+                else np.zeros((self.and_gates, self.num_parties, self.num_parties, 0), dtype=np.uint8)
+            )
+            return OfflinePools(
+                mode="ot",
+                num_parties=self.num_parties,
+                num_instances=count,
+                and_gates=self.and_gates,
+                ot_masks=pack_lane_axis(stacked),
+            )
+        packed = []
+        for component in range(3):
+            stacked = (
+                np.stack([t[component] for t in self._triples], axis=-1)
+                if count
+                else np.zeros((self.and_gates, self.num_parties, 0), dtype=np.uint8)
+            )
+            packed.append(pack_lane_axis(stacked))
+        return OfflinePools(
+            mode="beaver",
+            num_parties=self.num_parties,
+            num_instances=count,
+            and_gates=self.and_gates,
+            triple_a=packed[0],
+            triple_b=packed[1],
+            triple_c=packed[2],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Layer schedule cache
+# ---------------------------------------------------------------------------
+
+
+class _LayerArrays:
+    """A :class:`CircuitLayer` with its gate indices as ready-made numpy
+    index vectors (fancy-indexing the wire cube gate-batch at a time)."""
+
+    __slots__ = ("op", "a", "b", "out", "ordinals")
+
+    def __init__(self, layer: CircuitLayer) -> None:
+        self.op = layer.op
+        self.a = np.asarray([g.a for g in layer.gates], dtype=np.intp)
+        self.b = np.asarray([g.b for g in layer.gates], dtype=np.intp)
+        self.out = np.asarray([g.out for g in layer.gates], dtype=np.intp)
+        self.ordinals = np.asarray(layer.and_ordinals, dtype=np.intp)
+
+
+class _Schedule:
+    __slots__ = ("num_gates", "layers", "and_gates", "and_depth")
+
+    def __init__(self, circuit: Circuit) -> None:
+        stats = circuit.stats()
+        self.num_gates = len(circuit.gates)
+        self.layers = [_LayerArrays(layer) for layer in layerize(circuit)]
+        self.and_gates = stats.and_gates
+        self.and_depth = stats.and_depth
+
+
+def _schedule_for(circuit: Circuit) -> _Schedule:
+    cached = getattr(circuit, "_bitslice_schedule", None)
+    if cached is not None and cached.num_gates == len(circuit.gates):
+        return cached
+    schedule = _Schedule(circuit)
+    circuit._bitslice_schedule = schedule  # type: ignore[attr-defined]
+    return schedule
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class BitslicedGMWEngine(GMWEngine):
+    """Drop-in :class:`GMWEngine` whose gate evaluation is lane-parallel.
+
+    ``evaluate`` matches the scalar engine bit-for-bit (output shares,
+    traffic, OT stats, RNG stream consumption); ``evaluate_batch`` runs
+    many instances of one circuit with amortized layer evaluation. The
+    OT backend must be the rng-silent
+    :class:`~repro.crypto.ot.SimulatedObliviousTransfer`: a backend that
+    consumes party randomness per transfer (DDH, IKNP extension) would
+    shift the scalar transcript the offline phase replays.
+    """
+
+    def __init__(
+        self,
+        num_parties: int,
+        ot: Optional[ObliviousTransfer] = None,
+        mode: str = "ot",
+    ) -> None:
+        require_numpy()
+        super().__init__(num_parties, ot=ot, mode=mode)
+        if mode == "ot" and not isinstance(self.ot, SimulatedObliviousTransfer):
+            raise ProtocolError(
+                "bit-sliced GMW requires the rng-silent simulated OT backend; "
+                f"{type(self.ot).__name__} consumes per-transfer randomness, "
+                "which the offline phase cannot replay"
+            )
+        self._sender_bits = 8 * self.ot.sender_bytes_per_transfer(1)
+        self._receiver_bits = 8 * self.ot.receiver_bytes_per_transfer(1)
+
+    # -- offline phase -----------------------------------------------------
+
+    def pool_builder(self, circuit: Circuit) -> OfflinePoolBuilder:
+        """A builder for this engine's mode/party count (the secure engine
+        interleaves several builders to keep vertex transcript order)."""
+        return OfflinePoolBuilder(circuit, self.num_parties, self.mode)
+
+    def precompute(
+        self, circuit: Circuit, num_instances: int, rng: DeterministicRNG
+    ) -> OfflinePools:
+        """Draw all per-gate randomness for ``num_instances`` back-to-back
+        evaluations of ``circuit`` — the offline phase."""
+        builder = self.pool_builder(circuit)
+        for _ in range(num_instances):
+            builder.add_instance(rng)
+        return builder.build()
+
+    # -- online phase ------------------------------------------------------
+
+    def evaluate(
+        self,
+        circuit: Circuit,
+        shared_inputs: Dict[str, Sequence[int]],
+        rng: DeterministicRNG,
+    ) -> GMWResult:
+        return self.evaluate_batch(circuit, [shared_inputs], rng)[0]
+
+    def evaluate_batch(
+        self,
+        circuit: Circuit,
+        shared_inputs_list: Sequence[Dict[str, Sequence[int]]],
+        rng: Optional[DeterministicRNG] = None,
+        pools: Optional[OfflinePools] = None,
+    ) -> List[GMWResult]:
+        """Evaluate ``circuit`` once per entry of ``shared_inputs_list``.
+
+        With ``pools`` the online phase is RNG-free; otherwise ``rng`` is
+        consumed by an implicit offline phase exactly as the scalar engine
+        would consume it for the same sequence of ``evaluate`` calls.
+        """
+        n = self.num_parties
+        lanes = len(shared_inputs_list)
+        for shared_inputs in shared_inputs_list:
+            self._check_shared_inputs(circuit, shared_inputs)
+        if pools is None:
+            if rng is None:
+                raise ProtocolError("evaluate_batch needs an rng or prebuilt pools")
+            pools = self.precompute(circuit, lanes, rng)
+        if pools.mode != self.mode or pools.num_parties != n:
+            raise ProtocolError(
+                f"offline pool is {pools.mode!r}/{pools.num_parties} parties, "
+                f"engine is {self.mode!r}/{n}"
+            )
+        if pools.num_instances != lanes:
+            raise OfflinePoolExhaustedError(
+                f"offline pool provisioned {pools.num_instances} instances, "
+                f"online batch has {lanes}"
+            )
+        if lanes == 0:
+            return []
+
+        schedule = _schedule_for(circuit)
+        words = lane_words(lanes)
+        ones = _tail_mask(lanes)  # canonical all-ones lane vector
+
+        wires = np.zeros((circuit.num_wires, n, words), dtype=np.uint64)
+        wires[circuit.one, 0, :] = ones
+
+        for name, bus in circuit.input_buses.items():
+            bits = np.zeros((len(bus), n, lanes), dtype=np.uint64)
+            for lane, shared_inputs in enumerate(shared_inputs_list):
+                shares = shared_inputs[name]
+                for p in range(n):
+                    value = int(shares[p])
+                    for position in range(len(bus)):
+                        bits[position, p, lane] = (value >> position) & 1
+            wires[np.asarray(bus, dtype=np.intp)] = pack_lane_axis(bits)
+
+        for layer in schedule.layers:
+            if layer.op is GateOp.XOR:
+                wires[layer.out] = wires[layer.a] ^ wires[layer.b]
+            elif layer.op is GateOp.NOT:
+                flipped = wires[layer.a]  # fancy index -> copy
+                flipped[:, 0, :] ^= ones
+                wires[layer.out] = flipped
+            else:
+                x = wires[layer.a]  # (gates, n, words)
+                y = wires[layer.b]
+                if self.mode == "ot":
+                    masks = pools.take_ot(layer.ordinals)  # (gates, n, n, words)
+                    sum_x = np.bitwise_xor.reduce(x, axis=1)  # (gates, words)
+                    z = sum_x[:, None, :] & y
+                    z ^= np.bitwise_xor.reduce(masks, axis=2)  # party as sender
+                    z ^= np.bitwise_xor.reduce(masks, axis=1)  # party as receiver
+                else:
+                    a, b, c = pools.take_beaver(layer.ordinals)  # (gates, n, words)
+                    d = np.bitwise_xor.reduce(x ^ a, axis=1)  # opened masks
+                    e = np.bitwise_xor.reduce(y ^ b, axis=1)
+                    z = c ^ (d[:, None, :] & b) ^ (e[:, None, :] & a)
+                    z[:, 0, :] ^= d & e
+                wires[layer.out] = z
+
+        return self._collect_results(circuit, schedule, wires, lanes)
+
+    def _collect_results(
+        self,
+        circuit: Circuit,
+        schedule: _Schedule,
+        wires: "np.ndarray",
+        lanes: int,
+    ) -> List[GMWResult]:
+        n = self.num_parties
+        self._record_bulk_ot_stats(schedule.and_gates * lanes)
+
+        bus_bits: Dict[str, "np.ndarray"] = {}
+        bus_widths: Dict[str, int] = {}
+        for name, bus in circuit.output_buses.items():
+            # (width, n, lanes) of 0/1
+            bus_bits[name] = unpack_lane_axis(wires[np.asarray(bus, dtype=np.intp)], lanes)
+            bus_widths[name] = len(bus)
+
+        results = []
+        for lane in range(lanes):
+            output_shares: Dict[str, List[int]] = {}
+            for name, bits in bus_bits.items():
+                shares = [0] * n
+                for position in range(bus_widths[name]):
+                    row = bits[position, :, lane]
+                    for p in range(n):
+                        shares[p] |= int(row[p]) << position
+                output_shares[name] = shares
+            results.append(
+                GMWResult(
+                    num_parties=n,
+                    bus_widths=dict(bus_widths),
+                    output_shares=output_shares,
+                    traffic=self._closed_form_traffic(schedule),
+                )
+            )
+        return results
+
+    def _record_bulk_ot_stats(self, and_instances: int) -> None:
+        """Mirror the scalar engine's OT backend accounting in one update
+        (ot mode: one transfer per ordered pair per AND gate instance)."""
+        if self.mode != "ot":
+            return
+        n = self.num_parties
+        transfers = and_instances * n * (n - 1)
+        stats = self.ot.stats
+        stats.transfers += transfers
+        stats.sender_bytes += transfers * self.ot.sender_bytes_per_transfer(1)
+        stats.receiver_bytes += transfers * self.ot.receiver_bytes_per_transfer(1)
+
+    def _closed_form_traffic(self, schedule: _Schedule) -> GMWTraffic:
+        """Per-instance traffic identical to the scalar loop — including
+        ``pair_bits`` dict *insertion order*, which downstream metering
+        (``SecureEngine._meter_gmw`` float accumulation) iterates."""
+        n = self.num_parties
+        traffic = GMWTraffic(num_parties=n)
+        ands = schedule.and_gates
+        if ands:
+            if self.mode == "ot":
+                # Scalar insertion order per gate: for i, for j != i:
+                # (i, j) then (j, i). Gate multiplicity only scales counts.
+                for i in range(n):
+                    for j in range(n):
+                        if i == j:
+                            continue
+                        traffic.add_pair(i, j, ands * self._sender_bits)
+                        traffic.add_pair(j, i, ands * self._receiver_bits)
+                traffic.ot_count = ands * n * (n - 1)
+            else:
+                for p in range(n):
+                    for q in range(n):
+                        if q != p:
+                            traffic.add_pair(p, q, 2 * ands)
+        traffic.rounds = schedule.and_depth
+        return traffic

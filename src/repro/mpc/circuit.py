@@ -18,7 +18,7 @@ from typing import Dict, List, Sequence
 
 from repro.exceptions import CircuitError
 
-__all__ = ["GateOp", "Gate", "Circuit", "CircuitStats"]
+__all__ = ["GateOp", "Gate", "Circuit", "CircuitStats", "CircuitLayer", "layerize"]
 
 
 class GateOp(Enum):
@@ -52,6 +52,57 @@ class CircuitStats:
     @property
     def total_gates(self) -> int:
         return self.xor_gates + self.and_gates + self.not_gates
+
+
+@dataclass
+class CircuitLayer:
+    """One batch of like-typed gates whose inputs all come from earlier
+    layers — the unit a bit-sliced evaluator executes as a single array op.
+
+    ``and_ordinals[k]`` is the position of ``gates`` entry ``k`` among the
+    circuit's AND gates *in gate-list order* (empty for XOR/NOT layers).
+    The scalar engine draws per-gate randomness in gate-list order, so the
+    ordinal is the index into an offline-precomputed randomness pool: a
+    layered schedule may evaluate AND gates in any order without shifting
+    which random bits each gate consumes.
+    """
+
+    level: int
+    op: GateOp
+    gates: List[Gate] = field(default_factory=list)
+    and_ordinals: List[int] = field(default_factory=list)
+
+
+def layerize(circuit: "Circuit") -> List[CircuitLayer]:
+    """Group ``circuit.gates`` into a layered topological schedule.
+
+    Every gate (including the free XOR/NOT gates — a chain ``a^b^c^d``
+    must still evaluate in dependency order) is assigned level
+    ``1 + max(level of inputs)``, with input/constant wires at level 0;
+    gates sharing a ``(level, op)`` bucket are independent and can run as
+    one batched operation. Buckets are emitted in ascending level order,
+    ties broken by first appearance in the gate list, so the schedule is
+    deterministic and evaluating layers in order respects every wire
+    dependency.
+    """
+    level = [0] * circuit.num_wires
+    buckets: Dict[tuple, CircuitLayer] = {}  # keyed (level, op), insertion-ordered
+    and_ordinal = 0
+    for gate in circuit.gates:
+        gate_level = level[gate.a] + 1
+        if gate.op is not GateOp.NOT:
+            gate_level = max(gate_level, level[gate.b] + 1)
+        level[gate.out] = gate_level
+        key = (gate_level, gate.op)
+        layer = buckets.get(key)
+        if layer is None:
+            layer = buckets[key] = CircuitLayer(level=gate_level, op=gate.op)
+        layer.gates.append(gate)
+        if gate.op is GateOp.AND:
+            layer.and_ordinals.append(and_ordinal)
+            and_ordinal += 1
+    order: Dict[tuple, int] = {key: i for i, key in enumerate(buckets)}
+    return sorted(buckets.values(), key=lambda la: (la.level, order[(la.level, la.op)]))
 
 
 class Circuit:

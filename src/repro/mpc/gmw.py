@@ -151,13 +151,7 @@ class GMWEngine:
         named input bus; XOR of the shares is the plaintext value.
         """
         n = self.num_parties
-        for name in circuit.input_buses:
-            if name not in shared_inputs:
-                raise CircuitError(f"missing shares for input bus {name!r}")
-            if len(shared_inputs[name]) != n:
-                raise ProtocolError(
-                    f"input bus {name!r} has {len(shared_inputs[name])} shares, expected {n}"
-                )
+        self._check_shared_inputs(circuit, shared_inputs)
 
         traffic = GMWTraffic(num_parties=n)
         party_rngs = [rng.fork(f"gmw-party-{p}") for p in range(n)]
@@ -220,6 +214,20 @@ class GMWEngine:
             output_shares=output_shares,
             traffic=traffic,
         )
+
+    def _check_shared_inputs(
+        self, circuit: Circuit, shared_inputs: Dict[str, Sequence[int]]
+    ) -> None:
+        """Validate one instance's share map (shared with the bit-sliced
+        engine so both backends reject malformed inputs identically)."""
+        n = self.num_parties
+        for name in circuit.input_buses:
+            if name not in shared_inputs:
+                raise CircuitError(f"missing shares for input bus {name!r}")
+            if len(shared_inputs[name]) != n:
+                raise ProtocolError(
+                    f"input bus {name!r} has {len(shared_inputs[name])} shares, expected {n}"
+                )
 
     def _and_via_ot(
         self,

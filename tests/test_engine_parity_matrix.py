@@ -14,10 +14,13 @@ scale-free), all under a fixed seed:
 * the ``fixed`` backend must be bit-reproducible run-to-run and stay
   within quantization distance of the float oracle;
 * the **secure column**: ``secure-async`` (the protocol scheduled over
-  the transport bus) must release outputs **bit-identical** to
-  ``secure`` — noise and all — in every cell. The secure cells run on
-  smaller graphs (full MPC per vertex per round) under the demo preset,
-  but still sweep both programs and both graph generators.
+  the transport bus) and the ``bitsliced`` backend (numpy lane GMW with
+  the offline/online phase split, under both drivers) must release
+  outputs **bit-identical** to ``secure`` — noise and all — and meter
+  identical per-link traffic (the per-pair ``GMWTraffic.pair_bits``
+  attribution lands on directed links) in every cell. The secure cells
+  run on smaller graphs (full MPC per vertex per round) under the demo
+  preset, but still sweep both programs and both graph generators.
 
 Any future backend (remote, ...) earns its registry entry by joining
 this matrix.
@@ -26,6 +29,7 @@ this matrix.
 import pytest
 
 from repro import StressTest
+from repro.mpc.bitslice import HAVE_NUMPY
 from repro.crypto.rng import DeterministicRNG
 from repro.finance import apply_shock, uniform_shock
 from repro.graphgen import (
@@ -185,16 +189,34 @@ def secure_references(secure_networks):
     return references
 
 
+_needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+#: Every secure variant must reproduce the sequential scalar release.
+SECURE_VARIANTS = (
+    pytest.param("secure-async", {"tasks": 4}, id="secure-async"),
+    pytest.param(
+        "secure", {"backend": "bitsliced"}, id="secure-bitsliced", marks=_needs_numpy
+    ),
+    pytest.param(
+        "secure-async",
+        {"tasks": 4, "backend": "bitsliced"},
+        id="secure-async-bitsliced",
+        marks=_needs_numpy,
+    ),
+)
+
+
+@pytest.mark.parametrize("engine_name,options", SECURE_VARIANTS)
 @pytest.mark.parametrize("program", PROGRAMS)
 @pytest.mark.parametrize("graph_name", sorted(SECURE_GRAPHS))
-def test_secure_async_releases_bit_identical(
-    secure_networks, secure_references, program, graph_name
+def test_secure_variants_release_bit_identical(
+    secure_networks, secure_references, engine_name, options, program, graph_name
 ):
     reference = secure_references[(program, graph_name)]
     result = (
         StressTest(secure_networks[graph_name])
         .program(program)
-        .engine("secure-async", tasks=4)
+        .engine(engine_name, **options)
         .preset("demo")
         .run(iterations=SECURE_ITERATIONS)
     )
@@ -203,3 +225,8 @@ def test_secure_async_releases_bit_identical(
     assert result.noise_raw == reference.noise_raw
     assert result.pre_noise_aggregate == reference.pre_noise_aggregate
     assert result.trajectory == reference.trajectory
+    # metered traffic: per-link GMW byte attribution (GMWTraffic.pair_bits
+    # landing on directed links) and the OT totals, bit-identical
+    assert result.traffic.links() == reference.traffic.links()
+    assert result.extras["gmw_ot_count"] == reference.extras["gmw_ot_count"]
+    assert result.extras["transfer_count"] == reference.extras["transfer_count"]

@@ -1,0 +1,388 @@
+"""Parity-locked tests for the bit-sliced GMW backend.
+
+The acceptance bar for :mod:`repro.mpc.bitslice` is *transcript
+equivalence*, not approximate correctness: the lane evaluator must
+produce the same output **shares** (stronger than the same revealed
+values), the same :class:`~repro.mpc.gmw.GMWTraffic` — down to
+``pair_bits`` dict insertion order, which downstream float metering
+iterates — and consume the parent RNG stream byte-for-byte like the
+scalar engine, because every later fork in a secure run keys off that
+stream. Offline pools must be sized exactly from
+:func:`repro.mpc.cost.gmw_cost` and fail loudly when over-drawn.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import scale
+
+from repro.crypto.group import TOY_GROUP_64
+from repro.crypto.ot import DDHObliviousTransfer
+from repro.crypto.rng import DeterministicRNG
+from repro.exceptions import (
+    ConfigurationError,
+    OfflinePoolExhaustedError,
+    ProtocolError,
+)
+from repro.mpc import bitslice
+from repro.mpc.bitslice import (
+    LANE_BITS,
+    BitslicedGMWEngine,
+    lane_words,
+    pack_bits,
+    pack_lane_axis,
+    unpack_bits,
+    unpack_lane_axis,
+)
+from repro.mpc.builder import CircuitBuilder
+from repro.mpc.circuit import Circuit, GateOp, layerize
+from repro.mpc.cost import gmw_cost
+from repro.mpc.gmw import GMWEngine
+from repro.sharing.xor import share_value
+
+
+def mixed_circuit(width=6):
+    """Adder + multiplier + comparator: XOR, AND, and NOT gates at several
+    depths, so layered evaluation has real structure to get wrong."""
+    builder = CircuitBuilder()
+    x = builder.input_bus("x", width)
+    y = builder.input_bus("y", width)
+    builder.output_bus("sum", builder.add(x, y))
+    builder.output_bus("prod", builder.mul(x, y))
+    builder.output_bus("lt", [builder.lt_unsigned(x, y)])
+    return builder.circuit
+
+
+def shared_batch(engine, width, pairs, seed="inputs"):
+    rng = DeterministicRNG(seed)
+    return [
+        {
+            "x": engine.share_input(x, width, rng),
+            "y": engine.share_input(y, width, rng),
+        }
+        for x, y in pairs
+    ]
+
+
+# ------------------------------------------------------------- lane codec --
+
+
+class TestLaneCodec:
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    @settings(max_examples=scale(60), deadline=None)
+    def test_pack_unpack_round_trip(self, bits):
+        words = pack_bits(bits)
+        assert words.shape == (lane_words(len(bits)),)
+        assert unpack_bits(words, len(bits)) == bits
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=130),
+        st.integers(),
+    )
+    @settings(max_examples=scale(40), deadline=None)
+    def test_multi_axis_round_trip(self, rows, planes, lanes, seed):
+        raw = DeterministicRNG(seed).randbytes(rows * planes * lanes)
+        bits = (np.frombuffer(raw, dtype=np.uint8) & 1).reshape(rows, planes, lanes)
+        words = pack_lane_axis(bits)
+        assert words.shape == (rows, planes, lane_words(lanes))
+        assert (unpack_lane_axis(words, lanes) == bits).all()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=150),
+        st.integers(),
+    )
+    @settings(max_examples=scale(60), deadline=None)
+    def test_lane_xor_and_semantics_match_scalar(self, a_bits, seed):
+        b_bits = [
+            byte & 1 for byte in DeterministicRNG(seed).randbytes(len(a_bits))
+        ]
+        a, b = pack_bits(a_bits), pack_bits(b_bits)
+        assert unpack_bits(a ^ b, len(a_bits)) == [
+            x ^ y for x, y in zip(a_bits, b_bits)
+        ]
+        assert unpack_bits(a & b, len(a_bits)) == [
+            x & y for x, y in zip(a_bits, b_bits)
+        ]
+
+    @pytest.mark.parametrize("count", [1, 63, 64, 65, 100, 128, 129])
+    def test_ragged_tail_bits_stay_zero(self, count):
+        """Canonical form: lanes past ``count`` are zero even when the
+        input would set them — array equality in the parity tests depends
+        on it."""
+        words = pack_bits([1] * count)
+        tail = count % LANE_BITS
+        if tail:
+            assert int(words[-1]) == (1 << tail) - 1
+        assert unpack_bits(words, count) == [1] * count
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ProtocolError):
+            pack_bits([0, 2, 1])
+        with pytest.raises(ProtocolError):
+            unpack_lane_axis(np.zeros(1, dtype=np.uint64), LANE_BITS + 1)
+
+
+# -------------------------------------------------------- layer schedule --
+
+
+class TestLayerize:
+    def test_layers_respect_dependencies_and_cover_all_gates(self):
+        circuit = mixed_circuit()
+        produced = set()  # constants + inputs available at level 0
+        seen = []
+        for layer in layerize(circuit):
+            for gate in layer.gates:
+                inputs = {gate.a} if gate.op is GateOp.NOT else {gate.a, gate.b}
+                for wire in inputs:
+                    # produced by an earlier layer, or primary
+                    assert wire in produced or wire not in {
+                        g.out for g in circuit.gates
+                    }
+                seen.append(gate)
+            produced.update(g.out for g in layer.gates)
+        assert sorted(seen, key=lambda g: g.out) == sorted(
+            circuit.gates, key=lambda g: g.out
+        )
+
+    def test_and_ordinals_follow_gate_list_order(self):
+        circuit = mixed_circuit()
+        ordinal_of = {}
+        for layer in layerize(circuit):
+            for gate, ordinal in zip(layer.gates, layer.and_ordinals):
+                ordinal_of[gate.out] = ordinal
+        expected = 0
+        for gate in circuit.gates:
+            if gate.op is GateOp.AND:
+                assert ordinal_of[gate.out] == expected
+                expected += 1
+
+    def test_same_op_chain_splits_into_layers(self):
+        """a^b^c^d built as a chain must not collapse into one XOR layer
+        (each link reads the previous link's output)."""
+        circuit = Circuit()
+        wires = [circuit.new_wire() for _ in range(4)]
+        acc = wires[0]
+        for wire in wires[1:]:
+            acc = circuit.add_gate(GateOp.XOR, acc, wire)
+        layers = layerize(circuit)
+        assert [layer.level for layer in layers] == [1, 2, 3]
+
+
+# ------------------------------------------------------ transcript parity --
+
+
+class TestTranscriptParity:
+    @pytest.mark.parametrize("mode", ["ot", "beaver"])
+    @pytest.mark.parametrize("parties", [2, 3, 4])
+    def test_single_evaluate_is_bit_identical_to_scalar(self, mode, parties):
+        circuit = mixed_circuit()
+        scalar = GMWEngine(parties, mode=mode)
+        sliced = BitslicedGMWEngine(parties, mode=mode)
+        shares = shared_batch(scalar, 6, [(37, 52)])[0]
+        scalar_rng = DeterministicRNG("parity")
+        sliced_rng = DeterministicRNG("parity")
+        ref = scalar.evaluate(circuit, shares, scalar_rng)
+        got = sliced.evaluate(circuit, shares, sliced_rng)
+        # shares, not just revealed values
+        assert got.output_shares == ref.output_shares
+        assert got.bus_widths == ref.bus_widths
+        # traffic, including pair_bits *insertion order*
+        assert list(got.traffic.pair_bits.items()) == list(
+            ref.traffic.pair_bits.items()
+        )
+        assert got.traffic.sent_bits == ref.traffic.sent_bits
+        assert got.traffic.received_bits == ref.traffic.received_bits
+        assert got.traffic.ot_count == ref.traffic.ot_count
+        assert got.traffic.rounds == ref.traffic.rounds
+        # parent stream consumed byte-for-byte (later forks key off it)
+        assert scalar_rng.randbytes(32) == sliced_rng.randbytes(32)
+
+    @pytest.mark.parametrize("mode", ["ot", "beaver"])
+    def test_batch_matches_back_to_back_scalar_evaluations(self, mode):
+        circuit = mixed_circuit()
+        parties = 3
+        scalar = GMWEngine(parties, mode=mode)
+        sliced = BitslicedGMWEngine(parties, mode=mode)
+        pairs = [(i * 7 % 64, (63 - i * 11) % 64) for i in range(5)]
+        inputs = shared_batch(scalar, 6, pairs)
+        scalar_rng = DeterministicRNG("batch")
+        sliced_rng = DeterministicRNG("batch")
+        refs = [scalar.evaluate(circuit, shares, scalar_rng) for shares in inputs]
+        gots = sliced.evaluate_batch(circuit, inputs, sliced_rng)
+        for ref, got in zip(refs, gots):
+            assert got.output_shares == ref.output_shares
+            assert list(got.traffic.pair_bits.items()) == list(
+                ref.traffic.pair_bits.items()
+            )
+        assert scalar_rng.randbytes(32) == sliced_rng.randbytes(32)
+
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+        st.integers(),
+    )
+    @settings(max_examples=scale(10), deadline=None)
+    def test_property_reveals_match_plaintext_and_scalar(self, x, y, seed):
+        circuit = mixed_circuit()
+        plain = circuit.evaluate({"x": x, "y": y})
+        sliced = BitslicedGMWEngine(3)
+        shares = shared_batch(sliced, 6, [(x, y)], seed=seed)[0]
+        result = sliced.evaluate(circuit, shares, DeterministicRNG(seed))
+        for bus in ("sum", "prod", "lt"):
+            assert result.reveal(bus) == plain[bus]
+
+    def test_ot_pool_replays_scalar_draw_order(self):
+        """OT-mode mask bits: pool entry (gate g, sender i, receiver j)
+        must be the bit the scalar engine's ``party_rngs[i]`` would hand
+        gate g — forks and draws in transcript order."""
+        circuit = mixed_circuit(4)
+        parties = 3
+        engine = BitslicedGMWEngine(parties, mode="ot")
+        pools = engine.precompute(circuit, 1, DeterministicRNG("replay"))
+        rng = DeterministicRNG("replay")
+        party_rngs = [rng.fork(f"gmw-party-{p}") for p in range(parties)]
+        for g in range(circuit.stats().and_gates):
+            for i in range(parties):
+                for j in range(parties):
+                    if i != j:
+                        expected = party_rngs[i].randbit()
+                        assert int(pools.ot_masks[g, i, j, 0] & np.uint64(1)) == expected
+
+    def test_beaver_pool_replays_scalar_draw_order(self):
+        """Beaver triples: pool consumption order equals the scalar
+        transcript's parent-rng draw order under ``DeterministicRNG.fork``."""
+        circuit = mixed_circuit(4)
+        parties = 3
+        engine = BitslicedGMWEngine(parties, mode="beaver")
+        pools = engine.precompute(circuit, 1, DeterministicRNG("replay"))
+        rng = DeterministicRNG("replay")
+        for p in range(parties):  # evaluate() forks these first
+            rng.fork(f"gmw-party-{p}")
+        for g in range(circuit.stats().and_gates):
+            a_plain = rng.randbit()
+            b_plain = rng.randbit()
+            for component, plain in (
+                (pools.triple_a, a_plain),
+                (pools.triple_b, b_plain),
+                (pools.triple_c, a_plain & b_plain),
+            ):
+                expected = share_value(plain, 1, parties, rng)
+                lane0 = [int(component[g, p, 0] & np.uint64(1)) for p in range(parties)]
+                assert lane0 == expected
+
+    def test_iknp_vectorized_transpose_bit_identical(self):
+        """The batched-matrix pivot in ot_extension must equal the scalar
+        bit loop for every width, ragged or aligned."""
+        from repro.crypto import ot_extension as oe
+
+        rng = DeterministicRNG("transpose")
+        for count in (1, 7, 64, 65, 523):
+            cols = [rng.randbits(count) for _ in range(80)]
+            assert oe._transpose_bits_numpy(cols, count) == oe._transpose_bits_python(
+                cols, count
+            )
+
+
+# ------------------------------------------------- offline/online account --
+
+
+class TestOfflineAccounting:
+    @pytest.mark.parametrize("mode", ["ot", "beaver"])
+    @pytest.mark.parametrize("parties", [2, 4])
+    def test_pools_sized_exactly_from_cost_model(self, mode, parties):
+        circuit = mixed_circuit()
+        engine = BitslicedGMWEngine(parties, mode=mode)
+        cost = gmw_cost(circuit, parties, 0, 0, mode=mode)
+        lanes = 3
+        pools = engine.precompute(circuit, lanes, DeterministicRNG("size"))
+        assert pools.and_gates == cost.and_gates
+        assert pools.num_instances == lanes
+        words = lane_words(lanes)
+        if mode == "ot":
+            assert pools.ot_masks.shape == (cost.and_gates, parties, parties, words)
+        else:
+            assert cost.beaver_triples == cost.and_gates
+            for component in (pools.triple_a, pools.triple_b, pools.triple_c):
+                assert component.shape == (cost.and_gates, parties, words)
+        # online phase consumes every provisioned gate exactly once:
+        # no under-provision (it would raise), no over-provision
+        inputs = shared_batch(engine, 6, [(1, 2), (3, 4), (5, 6)])
+        assert pools.remaining == cost.and_gates
+        engine.evaluate_batch(circuit, inputs, pools=pools)
+        assert pools.remaining == 0
+
+    def test_consuming_a_pool_twice_raises_named_error(self):
+        circuit = mixed_circuit()
+        engine = BitslicedGMWEngine(3)
+        inputs = shared_batch(engine, 6, [(9, 9)])
+        pools = engine.precompute(circuit, 1, DeterministicRNG("again"))
+        engine.evaluate_batch(circuit, inputs, pools=pools)
+        with pytest.raises(OfflinePoolExhaustedError):
+            engine.evaluate_batch(circuit, inputs, pools=pools)
+
+    def test_pool_for_smaller_circuit_raises_named_error(self):
+        """A pool built for the wrong circuit must fail loudly, never fall
+        back to drawing fresh scalar randomness."""
+        small = CircuitBuilder()
+        a = small.input_bus("x", 2)
+        b = small.input_bus("y", 2)
+        small.output_bus("sum", small.bitwise_and(a, b))
+        engine = BitslicedGMWEngine(3)
+        pools = engine.precompute(small.circuit, 1, DeterministicRNG("small"))
+        big = mixed_circuit()
+        inputs = shared_batch(engine, 6, [(9, 9)])
+        with pytest.raises(OfflinePoolExhaustedError):
+            engine.evaluate_batch(big, inputs, pools=pools)
+
+    def test_instance_count_mismatch_raises_named_error(self):
+        circuit = mixed_circuit()
+        engine = BitslicedGMWEngine(3)
+        pools = engine.precompute(circuit, 2, DeterministicRNG("short"))
+        inputs = shared_batch(engine, 6, [(1, 1), (2, 2), (3, 3)])
+        with pytest.raises(OfflinePoolExhaustedError):
+            engine.evaluate_batch(circuit, inputs, pools=pools)
+
+    def test_mode_mismatched_pool_rejected(self):
+        circuit = mixed_circuit()
+        ot_engine = BitslicedGMWEngine(3, mode="ot")
+        beaver_engine = BitslicedGMWEngine(3, mode="beaver")
+        pools = ot_engine.precompute(circuit, 1, DeterministicRNG("mode"))
+        inputs = shared_batch(ot_engine, 6, [(1, 1)])
+        with pytest.raises(ProtocolError):
+            beaver_engine.evaluate_batch(circuit, inputs, pools=pools)
+
+    def test_batch_without_rng_or_pools_rejected(self):
+        engine = BitslicedGMWEngine(3)
+        circuit = mixed_circuit()
+        with pytest.raises(ProtocolError):
+            engine.evaluate_batch(circuit, shared_batch(engine, 6, [(1, 1)]))
+
+
+# ---------------------------------------------------------------- guards --
+
+
+class TestGuards:
+    def test_rng_consuming_ot_backend_rejected(self):
+        """DDH/IKNP backends draw per-transfer randomness the offline
+        phase cannot replay — constructing the engine with one must fail."""
+        with pytest.raises(ProtocolError):
+            BitslicedGMWEngine(2, ot=DDHObliviousTransfer(TOY_GROUP_64))
+
+    def test_missing_numpy_raises_configuration_error(self, monkeypatch):
+        monkeypatch.setattr(bitslice, "HAVE_NUMPY", False)
+        with pytest.raises(ConfigurationError):
+            bitslice.require_numpy()
+
+    def test_unknown_secure_backend_rejected(self):
+        from repro.api.registry import get_engine
+
+        with pytest.raises(ConfigurationError):
+            get_engine("secure", backend="vectorized")
+        with pytest.raises(ConfigurationError):
+            get_engine("secure-async", backend="vectorized")

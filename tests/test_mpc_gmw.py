@@ -210,6 +210,40 @@ class TestAccounting:
         assert result.traffic.ot_count == predicted.total_ots
         assert sum(result.traffic.sent_bits) == predicted.parties * predicted.sent_bits_per_party
 
+    @pytest.mark.parametrize("mode", ["ot", "beaver"])
+    @pytest.mark.parametrize("parties", [2, 3, 4])
+    def test_cost_model_matches_transcript_counts(self, mode, parties, rng):
+        """Every ``gmw_cost`` field cross-checked against what the engine
+        actually did — the bit-sliced offline phase sizes its randomness
+        pools from these counts, so drift here would mis-provision pools
+        (caught as ``OfflinePoolExhaustedError``) rather than just skew a
+        projection. The historical drift: the model only described ``ot``
+        mode, so beaver traffic/round predictions did not exist at all."""
+        circuit = adder_circuit()
+        engine = GMWEngine(parties, mode=mode)
+        predicted = gmw_cost(
+            circuit,
+            parties,
+            engine.ot.sender_bytes_per_transfer(1),
+            engine.ot.receiver_bytes_per_transfer(1),
+            mode=mode,
+        )
+        shares = {
+            "a": engine.share_input(9, 8, rng),
+            "b": engine.share_input(5, 8, rng),
+        }
+        traffic = engine.evaluate(circuit, shares, rng).traffic
+        stats = circuit.stats()
+        assert predicted.and_gates == stats.and_gates
+        assert predicted.xor_gates == stats.xor_gates
+        assert traffic.ot_count == predicted.total_ots
+        assert traffic.rounds == predicted.rounds
+        for party in range(parties):
+            assert traffic.sent_bits[party] == predicted.sent_bits_per_party
+        assert sum(traffic.sent_bits) == parties * predicted.sent_bits_per_party
+        expected_triples = stats.and_gates if mode == "beaver" else 0
+        assert predicted.beaver_triples == expected_triples
+
     def test_sent_received_balance(self, rng):
         circuit = adder_circuit()
         engine = GMWEngine(3)
