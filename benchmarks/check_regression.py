@@ -143,7 +143,46 @@ def check_ratios(means: Dict[str, float], baseline: dict):
     return rows, failures
 
 
-def check(means: Dict[str, float], baseline_path: Path, threshold: float) -> int:
+def deltas_json(rows, ratio_rows, failures, threshold: float) -> dict:
+    """The markdown tables' machine-readable twin: a versioned document
+    downstream tooling can diff without scraping markdown."""
+    return {
+        "schema": "dstress.bench.deltas",
+        "version": 1,
+        "threshold": threshold,
+        "benchmarks": [
+            {
+                "name": name,
+                "baseline_mean": base,
+                # a benchmark missing from this run carries NaN in the
+                # markdown row; null is the JSON-safe spelling
+                "current_mean": None if current != current else current,
+                "delta": delta,
+                "verdict": verdict,
+            }
+            for name, base, current, delta, verdict in rows
+        ],
+        "ratios": [
+            {
+                "name": name,
+                "pair": pair,
+                "min_speedup": required,
+                "measured": measured,
+                "verdict": verdict,
+            }
+            for name, pair, required, measured, verdict in ratio_rows
+        ],
+        "failures": list(failures),
+        "ok": not failures,
+    }
+
+
+def check(
+    means: Dict[str, float],
+    baseline_path: Path,
+    threshold: float,
+    json_out: Path | None = None,
+) -> int:
     with baseline_path.open() as handle:
         baseline = json.load(handle)
     base_means = {
@@ -187,6 +226,11 @@ def check(means: Dict[str, float], baseline_path: Path, threshold: float) -> int
         with open(summary_path, "a") as handle:
             handle.write(table + "\n")
     print(table)
+    if json_out is not None:
+        json_out.write_text(
+            json.dumps(deltas_json(rows, ratio_rows, failures, threshold), indent=2)
+            + "\n"
+        )
     if failures:
         print("benchmark regression guard FAILED:", file=sys.stderr)
         for failure in failures:
@@ -206,6 +250,9 @@ def main() -> int:
     parser.add_argument("--baseline", type=Path, default=Path("BENCH_BASELINE.json"))
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="max tolerated slowdown fraction (default 0.30)")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="also write the deltas as a machine-readable "
+                             "dstress.bench.deltas JSON document (--check only)")
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--check", action="store_true",
                       help="compare results against the baseline; exit 1 on regression")
@@ -217,7 +264,7 @@ def main() -> int:
     if args.write_baseline:
         write_baseline(means, args.baseline)
         return 0
-    return check(means, args.baseline, args.threshold)
+    return check(means, args.baseline, args.threshold, json_out=args.json_out)
 
 
 if __name__ == "__main__":

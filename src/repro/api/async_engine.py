@@ -34,7 +34,6 @@ puts numbers on both effects.
 from __future__ import annotations
 
 import asyncio
-import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Union
 
@@ -51,7 +50,10 @@ from repro.core.transport import (
     transport_from_spec,
     wan_meter_snapshot,
 )
-from repro.simulation.netsim import TrafficMeter
+from repro.obs.clock import now as clock_now
+from repro.obs.metrics import record_run
+from repro.obs.trace import current_recorder, timed_phase
+from repro.simulation.netsim import PhaseTimer, TrafficMeter
 
 __all__ = ["AsyncEngine", "run_coroutine"]
 
@@ -105,68 +107,78 @@ class AsyncEngine(Engine):
         return self.tasks if self.overlap else 1
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        started = time.perf_counter()
-        meter = TrafficMeter()
-        bus = transport_from_spec(self.transport, config, meter=meter)
-        # A caller-supplied Transport instance may be reused across runs;
-        # snapshot its counters so the extras below report *this* run.
-        before = wan_meter_snapshot(bus)
+        with current_recorder().span("run", engine=self.name, program=program.name):
+            started = clock_now()
+            meter = TrafficMeter()
+            bus = transport_from_spec(self.transport, config, meter=meter)
+            # A caller-supplied Transport instance may be reused across runs;
+            # snapshot its counters so the extras below report *this* run.
+            before = wan_meter_snapshot(bus)
 
-        oracle = PlaintextEngine(program)
-        degree_bound = graph.degree_bound
-        states = {
-            v.vertex_id: program.initial_state(v, degree_bound)
-            for v in graph.vertices()
-        }
-        inboxes = {v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids}
+            oracle = PlaintextEngine(program)
+            degree_bound = graph.degree_bound
+            phases = PhaseTimer()
+            with timed_phase(phases, "initialization"):
+                states = {
+                    v.vertex_id: program.initial_state(v, degree_bound)
+                    for v in graph.vertices()
+                }
+                inboxes = {
+                    v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
+                }
 
-        # a bus built here from a string spec is this run's to tear down
-        # (a "tcp" spec owns sockets and an io thread); a caller-supplied
-        # instance stays open — its mesh may span further runs
-        engine_owned = bus is not self.transport
-        try:
-            final_states, trajectory = run_coroutine(
-                run_rounds_async(
-                    graph=graph,
-                    update=lambda _vid, state, messages: program.float_update(
-                        state, messages, degree_bound
-                    ),
-                    observe=oracle._aggregate_float,
-                    states=states,
-                    inboxes=inboxes,
-                    iterations=iterations,
-                    transport=bus,
-                    fill=NO_OP_MESSAGE,
-                    max_tasks=self.tasks,
-                    overlap=self.overlap,
+            # a bus built here from a string spec is this run's to tear down
+            # (a "tcp" spec owns sockets and an io thread); a caller-supplied
+            # instance stays open — its mesh may span further runs
+            engine_owned = bus is not self.transport
+            try:
+                final_states, trajectory = run_coroutine(
+                    run_rounds_async(
+                        graph=graph,
+                        update=lambda _vid, state, messages: program.float_update(
+                            state, messages, degree_bound
+                        ),
+                        observe=oracle._aggregate_float,
+                        states=states,
+                        inboxes=inboxes,
+                        iterations=iterations,
+                        transport=bus,
+                        fill=NO_OP_MESSAGE,
+                        max_tasks=self.tasks,
+                        overlap=self.overlap,
+                        phases=phases,
+                    )
                 )
-            )
-        except BaseException as exc:
-            if engine_owned:
-                bus.close(error=exc)
-            raise
+            except BaseException as exc:
+                if engine_owned:
+                    bus.close(error=exc)
+                raise
 
-        run = PlaintextRun(
-            aggregate=oracle._aggregate_float(final_states),
-            final_states=final_states,
-            trajectory=trajectory,
-        )
-        result = _from_plaintext(self.name, program, run, iterations, started)
-        result.extras.update(
-            {
-                # effective concurrency: the sequential schedule runs one
-                # pipeline regardless of the constructor's tasks value,
-                # and the extras must report what actually happened
-                "tasks": float(self.tasks if self.overlap else 1),
-                "overlap": 1.0 if self.overlap else 0.0,
-                "messages_sent": float(graph.num_edges * iterations),
-            }
-        )
-        attach_wan_extras(result, bus, before)
-        attach_wire_extras(result, bus)
-        if engine_owned:
-            bus.close()
-        return result
+            run = PlaintextRun(
+                aggregate=oracle._aggregate_float(final_states),
+                final_states=final_states,
+                trajectory=trajectory,
+                phases=phases,
+            )
+            result = _from_plaintext(
+                self.name, program, run, iterations, started, graph=graph, record=False
+            )
+            result.extras.update(
+                {
+                    # effective concurrency: the sequential schedule runs one
+                    # pipeline regardless of the constructor's tasks value,
+                    # and the extras must report what actually happened
+                    "tasks": float(self.tasks if self.overlap else 1),
+                    "overlap": 1.0 if self.overlap else 0.0,
+                    "messages_sent": float(graph.num_edges * iterations),
+                }
+            )
+            attach_wan_extras(result, bus, before)
+            attach_wire_extras(result, bus)
+            if engine_owned:
+                bus.close()
+            record_run(result)
+            return result
 
 
 register_engine("async", AsyncEngine, aliases=("asyncio", "overlapped"))

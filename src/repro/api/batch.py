@@ -45,7 +45,6 @@ was spent (§4.5's budget pays for releases, not attempts).
 from __future__ import annotations
 
 import os
-import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -61,6 +60,9 @@ from repro.core.graph import DistributedGraph
 from repro.core.program import VertexProgram
 from repro.exceptions import ConfigurationError, DStressError, PrivacyBudgetExceeded
 from repro.finance.network import FinancialNetwork
+from repro.obs.clock import now as clock_now
+from repro.obs.metrics import absorb_cache
+from repro.obs.trace import current_recorder
 from repro.privacy.budget import BudgetCharge, PrivacyAccountant
 
 __all__ = ["Scenario", "ScenarioOutcome", "BatchResult", "run_batch"]
@@ -169,6 +171,16 @@ class BatchResult:
             + ", ".join(o.name for o in self.outcomes)
         )
 
+    def export(self, accountant: Optional[PrivacyAccountant] = None) -> Dict[str, Any]:
+        """Versioned JSON-safe export (``dstress.obs.batch`` schema).
+
+        Pass the batch's ``accountant`` to embed its audit ledger so the
+        export reconciles epsilon_charged against the ledger lines.
+        """
+        from repro.obs.export import export_batch
+
+        return export_batch(self, accountant=accountant)
+
     def summary(self) -> str:
         ok = sum(1 for o in self.outcomes if o.ok)
         parts = [
@@ -225,24 +237,24 @@ def _run_payload(payload: ResolvedRun) -> ScenarioOutcome:
     Workers never see the shared accountant — the parent charged it up
     front — so a crashed worker can neither double-charge nor leak budget.
     """
-    started = time.perf_counter()
+    started = clock_now()
     try:
         result = execute_resolved(payload, accountant=None)
         return ScenarioOutcome(
-            name=payload.label, result=result, seconds=time.perf_counter() - started
+            name=payload.label, result=result, seconds=clock_now() - started
         )
     except DStressError as exc:
         return ScenarioOutcome(
             name=payload.label,
             error=f"scenario {payload.label!r}: {type(exc).__name__}: {exc}",
-            seconds=time.perf_counter() - started,
+            seconds=clock_now() - started,
         )
     except Exception:  # defensive: report, don't hang the pool
         return ScenarioOutcome(
             name=payload.label,
             error=f"scenario {payload.label!r} crashed:\n"
             + traceback.format_exc(limit=5),
-            seconds=time.perf_counter() - started,
+            seconds=clock_now() - started,
         )
 
 
@@ -364,9 +376,11 @@ def _prepare_batch(
     hits_before = cache_obj.hits if cache_obj is not None else 0
     misses_before = cache_obj.misses if cache_obj is not None else 0
     graph_tokens: Dict[int, Any] = {}  # scenarios usually share the template graph
+    # fingerprints are computed even without a cache: the accountant's
+    # audit ledger stamps each pre-charge with the scenario fingerprint,
+    # so a budget audit can name the exact run that spent each epsilon
     fingerprints: List[Optional[str]] = [
-        run_fingerprint(p, _graph_tokens=graph_tokens) if cache_obj is not None else None
-        for p in payloads
+        run_fingerprint(p, _graph_tokens=graph_tokens) for p in payloads
     ]
     to_run: List[int] = []
     cached_results: Dict[int, RunResult] = {}
@@ -428,7 +442,9 @@ def _prepare_batch(
             for i in releasing:
                 payload = payloads[i]
                 charges[i] = accountant.charge(
-                    payload.config.output_epsilon, label=payload.label
+                    payload.config.output_epsilon,
+                    label=payload.label,
+                    fingerprint=fingerprints[i],
                 )
                 epsilon_charged += payload.config.output_epsilon
     except Exception:
@@ -620,7 +636,7 @@ def run_batch(
         next(outcomes)  # enter the generator: arms the refund-on-abandon finally
         return outcomes
 
-    started = time.perf_counter()
+    started = clock_now()
     try:
         executed = map_in_pool(
             _run_payload,
@@ -668,11 +684,18 @@ def run_batch(
             primary = by_index[prepared.duplicates[index]]
             outcomes.append(_duplicate_outcome(prepared, index, primary))
     cache_hits, cache_misses = prepared.cache_counts()
-    return BatchResult(
+    batch_result = BatchResult(
         outcomes=outcomes,
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=clock_now() - started,
         workers=prepared.effective_workers,
         epsilon_charged=epsilon_charged,
         cache_hits=cache_hits,
         cache_misses=cache_misses,
     )
+    recorder = current_recorder()
+    if recorder.enabled:
+        recorder.metrics.set_gauge("batch.wall_seconds", batch_result.wall_seconds)
+        recorder.metrics.set_gauge("batch.epsilon_charged", epsilon_charged)
+        if prepared.cache is not None:
+            absorb_cache(recorder.metrics, prepared.cache)
+    return batch_result

@@ -52,12 +52,12 @@ from __future__ import annotations
 import json
 import os
 import pickle
-import time
 import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.api.cache import ScenarioCacheBase, clone_result
+from repro.obs.clock import wall_time
 from repro.api.result import RunResult
 from repro.exceptions import ConfigurationError
 
@@ -194,7 +194,7 @@ class PersistentScenarioCache(ScenarioCacheBase):
             return
         self._remember(fingerprint, result)
         payload_path, sidecar_path = self._paths(fingerprint)
-        now = time.time()
+        now = wall_time()
         meta = {
             "version": DISK_FORMAT_VERSION,
             "fingerprint": fingerprint,
@@ -337,7 +337,7 @@ class PersistentScenarioCache(ScenarioCacheBase):
         sidecar (best effort — a lost touch only skews eviction order,
         never correctness)."""
         meta = dict(meta)
-        meta["used_at"] = time.time()
+        meta["used_at"] = wall_time()
         _, sidecar_path = self._paths(fingerprint)
         try:
             self._atomic_write(
@@ -415,7 +415,7 @@ class PersistentScenarioCache(ScenarioCacheBase):
         between the two writes): they read as misses but occupy real
         bytes that no eviction walk would otherwise ever see. The grace
         period keeps this from racing a live writer mid-``_persist``."""
-        now = time.time()
+        now = wall_time()
         for payload_path in self.directory.glob("*" + _PAYLOAD_SUFFIX):
             if payload_path.name.startswith(_TMP_PREFIX):
                 continue

@@ -28,7 +28,6 @@ speed by swapping one string. New backends (remote, ...) implement
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from typing import Optional, Sequence
 
@@ -41,9 +40,13 @@ from repro.core.program import VertexProgram
 from repro.core.secure_engine import SecureEngine
 from repro.crypto.rng import DeterministicRNG
 from repro.exceptions import ConfigurationError
+from repro.obs.clock import now as clock_now
+from repro.obs.metrics import record_run
+from repro.obs.trace import current_recorder
 from repro.privacy.budget import PrivacyAccountant
 from repro.privacy.mechanisms import two_sided_geometric_sample
 from repro.simulation.naive_baseline import estimate_monolithic_seconds
+from repro.simulation.netsim import TrafficMeter, meter_from_rounds
 
 __all__ = [
     "Engine",
@@ -124,9 +127,12 @@ class PlaintextFloatEngine(Engine):
     name = "plaintext"
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        started = time.perf_counter()
-        run = PlaintextEngine(program).run_float(graph, iterations)
-        return _from_plaintext(self.name, program, run, iterations, started)
+        with current_recorder().span("run", engine=self.name, program=program.name):
+            started = clock_now()
+            run = PlaintextEngine(program).run_float(graph, iterations)
+            return _from_plaintext(
+                self.name, program, run, iterations, started, graph=graph
+            )
 
 
 class PlaintextFixedEngine(Engine):
@@ -135,9 +141,12 @@ class PlaintextFixedEngine(Engine):
     name = "fixed"
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        started = time.perf_counter()
-        run = PlaintextEngine(program).run_fixed(graph, iterations)
-        return _from_plaintext(self.name, program, run, iterations, started)
+        with current_recorder().span("run", engine=self.name, program=program.name):
+            started = clock_now()
+            run = PlaintextEngine(program).run_fixed(graph, iterations)
+            return _from_plaintext(
+                self.name, program, run, iterations, started, graph=graph
+            )
 
 
 def _from_plaintext(
@@ -146,17 +155,36 @@ def _from_plaintext(
     run: PlaintextRun,
     iterations: int,
     started: float,
+    graph: Optional[DistributedGraph] = None,
+    record: bool = True,
 ) -> RunResult:
-    return RunResult(
+    """Normalize a PlaintextRun, carrying its phase timings and — when the
+    graph is known — a synthesized per-link traffic meter, so every
+    engine's RunResult exposes the same telemetry shape.
+
+    ``record=False`` defers the ambient-recorder absorption to callers
+    (async/sharded) that still attach transport extras afterwards.
+    """
+    traffic = None
+    if graph is not None:
+        # round-synchronous byte profile is exact arithmetic: one
+        # fixed-point message per directed edge per routed round
+        traffic = meter_from_rounds(graph, iterations, program.fmt.total_bits / 8.0)
+    result = RunResult(
         engine=engine_name,
         program=program.name,
         aggregate=run.aggregate,
         trajectory=list(run.trajectory),
         iterations=iterations,
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=clock_now() - started,
+        traffic=traffic,
+        phases=run.phases,
         final_states=run.final_states,
         raw=run,
     )
+    if record:
+        record_run(result)
+    return result
 
 
 class SecureDStressEngine(Engine):
@@ -180,29 +208,32 @@ class SecureDStressEngine(Engine):
         self.backend = backend
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        started = time.perf_counter()
-        result = SecureEngine(program, config, backend=self.backend).run(
-            graph, iterations, accountant=accountant
-        )
-        return RunResult(
-            engine=self.name,
-            program=program.name,
-            aggregate=result.noisy_output,
-            trajectory=list(result.trajectory),
-            iterations=iterations,
-            wall_seconds=time.perf_counter() - started,
-            pre_noise_aggregate=result.pre_noise_output,
-            noise_raw=result.noise_raw,
-            epsilon=config.output_epsilon,
-            traffic=result.traffic,
-            phases=result.phases,
-            extras={
-                "transfer_count": float(result.transfer_count),
-                "gmw_ot_count": float(result.gmw_ot_count),
-                "aggregation_levels": float(result.aggregation_levels),
-            },
-            raw=result,
-        )
+        with current_recorder().span("run", engine=self.name, program=program.name):
+            started = clock_now()
+            result = SecureEngine(program, config, backend=self.backend).run(
+                graph, iterations, accountant=accountant
+            )
+            normalized = RunResult(
+                engine=self.name,
+                program=program.name,
+                aggregate=result.noisy_output,
+                trajectory=list(result.trajectory),
+                iterations=iterations,
+                wall_seconds=clock_now() - started,
+                pre_noise_aggregate=result.pre_noise_output,
+                noise_raw=result.noise_raw,
+                epsilon=config.output_epsilon,
+                traffic=result.traffic,
+                phases=result.phases,
+                extras={
+                    "transfer_count": float(result.transfer_count),
+                    "gmw_ot_count": float(result.gmw_ot_count),
+                    "aggregation_levels": float(result.aggregation_levels),
+                },
+                raw=result,
+            )
+            record_run(normalized)
+            return normalized
 
 
 class NaiveMPCEngine(Engine):
@@ -240,43 +271,51 @@ class NaiveMPCEngine(Engine):
         self.max_parties = max_parties
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        started = time.perf_counter()
-        if accountant is not None:
-            accountant.charge(
-                config.output_epsilon, label=f"{program.name}-naive-release"
+        with current_recorder().span("run", engine=self.name, program=program.name):
+            started = clock_now()
+            if accountant is not None:
+                accountant.charge(
+                    config.output_epsilon, label=f"{program.name}-naive-release"
+                )
+            run = PlaintextEngine(program).run_fixed(graph, iterations)
+            fmt = program.fmt
+            rng = DeterministicRNG(config.seed).fork("naive-output-noise")
+            noise_raw = two_sided_geometric_sample(
+                config.noise_alpha_for(program.sensitivity), rng
             )
-        run = PlaintextEngine(program).run_fixed(graph, iterations)
-        fmt = program.fmt
-        rng = DeterministicRNG(config.seed).fork("naive-output-noise")
-        noise_raw = two_sided_geometric_sample(
-            config.noise_alpha_for(program.sensitivity), rng
-        )
-        extras = {}
-        if self.estimate_cost:
-            parties = min(config.block_size, self.max_parties)
-            projected, fit = estimate_monolithic_seconds(
-                graph.num_vertices,
-                iterations,
-                fmt,
-                parties=parties,
-                sample_sizes=self.sample_sizes,
+            extras = {}
+            if self.estimate_cost:
+                parties = min(config.block_size, self.max_parties)
+                projected, fit = estimate_monolithic_seconds(
+                    graph.num_vertices,
+                    iterations,
+                    fmt,
+                    parties=parties,
+                    sample_sizes=self.sample_sizes,
+                )
+                extras["projected_mpc_seconds"] = projected
+                extras["fit_coefficient"] = fit.coefficient
+            result = RunResult(
+                engine=self.name,
+                program=program.name,
+                aggregate=run.aggregate + noise_raw * fmt.resolution,
+                trajectory=list(run.trajectory),
+                iterations=iterations,
+                wall_seconds=clock_now() - started,
+                pre_noise_aggregate=run.aggregate,
+                noise_raw=noise_raw,
+                epsilon=config.output_epsilon,
+                # the monolithic baseline computes centrally: no per-link
+                # round traffic exists, but the meter is present (empty)
+                # so every engine's RunResult exposes the same key scheme
+                traffic=TrafficMeter(),
+                phases=run.phases,
+                final_states=run.final_states,
+                extras=extras,
+                raw=run,
             )
-            extras["projected_mpc_seconds"] = projected
-            extras["fit_coefficient"] = fit.coefficient
-        return RunResult(
-            engine=self.name,
-            program=program.name,
-            aggregate=run.aggregate + noise_raw * fmt.resolution,
-            trajectory=list(run.trajectory),
-            iterations=iterations,
-            wall_seconds=time.perf_counter() - started,
-            pre_noise_aggregate=run.aggregate,
-            noise_raw=noise_raw,
-            epsilon=config.output_epsilon,
-            final_states=run.final_states,
-            extras=extras,
-            raw=run,
-        )
+            record_run(result)
+            return result
 
 
 register_engine("plaintext", PlaintextFloatEngine, aliases=("float", "clear"))

@@ -103,6 +103,17 @@ class RunResult:
         """Whether the final step moved at most ``tolerance``."""
         return has_converged(self.trajectory, tolerance)
 
+    def export(self, recorder: Any = None) -> Dict[str, Any]:
+        """Versioned JSON-safe export (``dstress.obs.run`` schema).
+
+        Pass a :class:`~repro.obs.trace.TraceRecorder` to embed its spans
+        and metrics alongside the run's own telemetry; the schema is
+        documented (and append-only) in DESIGN.md "Observability".
+        """
+        from repro.obs.export import export_run
+
+        return export_run(self, recorder=recorder)
+
     def summary(self) -> str:
         """One-line human-readable digest (used by examples and the CLI
         of future backends)."""

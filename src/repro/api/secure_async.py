@@ -36,7 +36,6 @@ included); a WAN bus's own delay accounting lands in
 
 from __future__ import annotations
 
-import time
 from typing import Union
 
 from repro.api.async_engine import run_coroutine
@@ -52,6 +51,9 @@ from repro.core.transport import (
     transport_from_spec,
     wan_meter_snapshot,
 )
+from repro.obs.clock import now as clock_now
+from repro.obs.metrics import record_run
+from repro.obs.trace import current_recorder
 
 __all__ = ["SecureAsyncEngine"]
 
@@ -94,7 +96,11 @@ class SecureAsyncEngine(Engine):
         return self.tasks if self.overlap else 1
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        started = time.perf_counter()
+        with current_recorder().span("run", engine=self.name, program=program.name):
+            return self._execute(program, graph, iterations, config, accountant)
+
+    def _execute(self, program, graph, iterations, config, accountant=None):
+        started = clock_now()
         bus = transport_from_spec(self.transport, config)
         # A caller-supplied Transport instance may be reused across runs;
         # snapshot its counters so the extras below report *this* run.
@@ -127,7 +133,7 @@ class SecureAsyncEngine(Engine):
             aggregate=result.noisy_output,
             trajectory=list(result.trajectory),
             iterations=iterations,
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=clock_now() - started,
             pre_noise_aggregate=result.pre_noise_output,
             noise_raw=result.noise_raw,
             epsilon=config.output_epsilon,
@@ -149,6 +155,7 @@ class SecureAsyncEngine(Engine):
         attach_wire_extras(run_result, bus)
         if engine_owned:
             bus.close()
+        record_run(run_result)
         return run_result
 
     @staticmethod

@@ -32,7 +32,6 @@ unchanged, so sharded scenarios compose with ``run_many`` transparently.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Tuple
 
 from repro.api.engines import Engine, _from_plaintext, validate_intra_run_width
@@ -49,6 +48,10 @@ from repro.core.transport import (
     wan_meter_snapshot,
 )
 from repro.exceptions import ConfigurationError
+from repro.obs.clock import now as clock_now
+from repro.obs.metrics import record_run
+from repro.obs.trace import current_recorder, timed_phase
+from repro.simulation.netsim import PhaseTimer
 
 __all__ = ["ShardedEngine", "partition_vertices", "cross_shard_edges"]
 
@@ -129,38 +132,42 @@ class ShardedEngine(Engine):
         self.transport = check_transport_spec(transport, optional=True)
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        started = time.perf_counter()
-        chunks = partition_vertices(graph.vertex_ids, self.shards)
-        ghost_edges = cross_shard_edges(graph, chunks)
-        bus = (
-            transport_from_spec(self.transport, config)
-            if self.transport is not None
-            else None
-        )
-        before = wan_meter_snapshot(bus)
-        oracle = PlaintextEngine(program, transport=bus)
+        with current_recorder().span("run", engine=self.name, program=program.name):
+            started = clock_now()
+            chunks = partition_vertices(graph.vertex_ids, self.shards)
+            ghost_edges = cross_shard_edges(graph, chunks)
+            bus = (
+                transport_from_spec(self.transport, config)
+                if self.transport is not None
+                else None
+            )
+            before = wan_meter_snapshot(bus)
+            oracle = PlaintextEngine(program, transport=bus)
 
-        inline = len(chunks) <= 1 or in_worker_process()
-        if inline:
-            # one shard, or inside a daemonic pool worker (cannot fork):
-            # the partition is immaterial, so delegate to the reference
-            # engine — one float semantics implementation, not two.
-            run = oracle.run_float(graph, iterations)
-        else:
-            run = self._run_pooled(oracle, program, graph, chunks, iterations)
+            inline = len(chunks) <= 1 or in_worker_process()
+            if inline:
+                # one shard, or inside a daemonic pool worker (cannot fork):
+                # the partition is immaterial, so delegate to the reference
+                # engine — one float semantics implementation, not two.
+                run = oracle.run_float(graph, iterations)
+            else:
+                run = self._run_pooled(oracle, program, graph, chunks, iterations)
 
-        result = _from_plaintext(self.name, program, run, iterations, started)
-        result.extras.update(
-            {
-                "shards": float(len(chunks)),
-                "requested_shards": float(self.shards),
-                "ghost_edges": float(ghost_edges),
-                "ghost_messages": float(ghost_edges * iterations),
-                "inline": 1.0 if inline else 0.0,
-            }
-        )
-        attach_wan_extras(result, bus, before)
-        return result
+            result = _from_plaintext(
+                self.name, program, run, iterations, started, graph=graph, record=False
+            )
+            result.extras.update(
+                {
+                    "shards": float(len(chunks)),
+                    "requested_shards": float(self.shards),
+                    "ghost_edges": float(ghost_edges),
+                    "ghost_messages": float(ghost_edges * iterations),
+                    "inline": 1.0 if inline else 0.0,
+                }
+            )
+            attach_wan_extras(result, bus, before)
+            record_run(result)
+            return result
 
     def _run_pooled(
         self,
@@ -171,17 +178,19 @@ class ShardedEngine(Engine):
         iterations: int,
     ) -> PlaintextRun:
         degree_bound = graph.degree_bound
-        if oracle.transport is not None:
-            # one execution = one bus session (resets round counters /
-            # fault accounting), same as the inline run_float path
-            oracle.transport.open(graph, NO_OP_MESSAGE)
-        states = {
-            v.vertex_id: program.initial_state(v, degree_bound)
-            for v in graph.vertices()
-        }
-        inboxes: Dict[int, List[float]] = {
-            v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
-        }
+        phases = PhaseTimer()
+        with timed_phase(phases, "initialization"):
+            if oracle.transport is not None:
+                # one execution = one bus session (resets round counters /
+                # fault accounting), same as the inline run_float path
+                oracle.transport.open(graph, NO_OP_MESSAGE)
+            states = {
+                v.vertex_id: program.initial_state(v, degree_bound)
+                for v in graph.vertices()
+            }
+            inboxes: Dict[int, List[float]] = {
+                v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
+            }
 
         with create_pool(
             len(chunks),
@@ -216,12 +225,14 @@ class ShardedEngine(Engine):
                 states=states,
                 inboxes=inboxes,
                 iterations=iterations,
+                phases=phases,
             )
 
         return PlaintextRun(
             aggregate=oracle._aggregate_float(states),
             final_states=states,
             trajectory=trajectory,
+            phases=phases,
         )
 
 

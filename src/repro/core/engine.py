@@ -27,6 +27,8 @@ from repro.core.program import NO_OP_MESSAGE, VertexProgram
 from repro.core.rounds import route_messages, run_rounds, sequential_superstep
 from repro.core.transport import Transport
 from repro.exceptions import ConfigurationError
+from repro.obs.trace import timed_phase
+from repro.simulation.netsim import PhaseTimer
 
 __all__ = ["PlaintextRun", "PlaintextEngine"]
 
@@ -39,6 +41,10 @@ class PlaintextRun:
     final_states: Dict[int, Dict[str, float]]
     #: per-iteration aggregate of the designated register (convergence data)
     trajectory: List[float] = field(default_factory=list)
+    #: per-phase wall-clock (initialization/computation/communication),
+    #: filled through the shared recorder path so plaintext runs report
+    #: phases the same way the secure engine always has
+    phases: Optional[PhaseTimer] = None
 
     def converged_at(self, tolerance: float = DEFAULT_TOLERANCE) -> Optional[int]:
         """Smallest iteration count after which the aggregate stopped
@@ -67,16 +73,19 @@ class PlaintextEngine:
         """Reference execution over floats."""
         program = self.program
         degree_bound = graph.degree_bound
-        if self.transport is not None:
-            # one execution = one bus session: resets per-run transport
-            # state (round counters, fault accounting, mailboxes)
-            self.transport.open(graph, NO_OP_MESSAGE)
-        states = {
-            v.vertex_id: program.initial_state(v, degree_bound) for v in graph.vertices()
-        }
-        inboxes: Dict[int, List[float]] = {
-            v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
-        }
+        phases = PhaseTimer()
+        with timed_phase(phases, "initialization"):
+            if self.transport is not None:
+                # one execution = one bus session: resets per-run transport
+                # state (round counters, fault accounting, mailboxes)
+                self.transport.open(graph, NO_OP_MESSAGE)
+            states = {
+                v.vertex_id: program.initial_state(v, degree_bound)
+                for v in graph.vertices()
+            }
+            inboxes: Dict[int, List[float]] = {
+                v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
+            }
 
         states, trajectory = run_rounds(
             superstep=sequential_superstep(
@@ -92,12 +101,14 @@ class PlaintextEngine:
             states=states,
             inboxes=inboxes,
             iterations=iterations,
+            phases=phases,
         )
 
         return PlaintextRun(
             aggregate=self._aggregate_float(states),
             final_states=states,
             trajectory=trajectory,
+            phases=phases,
         )
 
     def _aggregate_float(self, states: Dict[int, Dict[str, float]]) -> float:
@@ -116,23 +127,27 @@ class PlaintextEngine:
         program = self.program
         fmt = program.fmt
         degree_bound = graph.degree_bound
-        circuit = program.build_update_circuit(degree_bound)
-        registers = program.state_registers(degree_bound)
+        phases = PhaseTimer()
+        with timed_phase(phases, "initialization"):
+            circuit = program.build_update_circuit(degree_bound)
+            registers = program.state_registers(degree_bound)
 
-        raw_states: Dict[int, Dict[str, int]] = {}
-        for view in graph.vertices():
-            state = program.initial_state(view, degree_bound)
-            missing = set(registers) - set(state)
-            if missing:
-                raise ConfigurationError(f"initial state missing registers {missing}")
-            raw_states[view.vertex_id] = program.encode_state(state)
+            raw_states: Dict[int, Dict[str, int]] = {}
+            for view in graph.vertices():
+                state = program.initial_state(view, degree_bound)
+                missing = set(registers) - set(state)
+                if missing:
+                    raise ConfigurationError(
+                        f"initial state missing registers {missing}"
+                    )
+                raw_states[view.vertex_id] = program.encode_state(state)
 
-        raw_no_op = fmt.encode(NO_OP_MESSAGE)
-        if self.transport is not None:
-            self.transport.open(graph, raw_no_op)
-        inboxes: Dict[int, List[int]] = {
-            v: [raw_no_op] * degree_bound for v in graph.vertex_ids
-        }
+            raw_no_op = fmt.encode(NO_OP_MESSAGE)
+            if self.transport is not None:
+                self.transport.open(graph, raw_no_op)
+            inboxes: Dict[int, List[int]] = {
+                v: [raw_no_op] * degree_bound for v in graph.vertex_ids
+            }
 
         raw_states, trajectory = run_rounds(
             superstep=sequential_superstep(
@@ -148,6 +163,7 @@ class PlaintextEngine:
             states=raw_states,
             inboxes=inboxes,
             iterations=iterations,
+            phases=phases,
         )
 
         return PlaintextRun(
@@ -157,6 +173,7 @@ class PlaintextEngine:
                 for vertex_id, raw in raw_states.items()
             },
             trajectory=trajectory,
+            phases=phases,
         )
 
     def _aggregate_raw(self, raw_states: Dict[int, Dict[str, int]]) -> float:

@@ -43,6 +43,8 @@ from typing import Callable, Dict, List, Optional, Set, Tuple, TypeVar
 from repro.core.graph import DistributedGraph
 from repro.core.transport import InMemoryTransport, Transport
 from repro.exceptions import ConfigurationError
+from repro.obs.trace import current_recorder, timed_phase
+from repro.simulation.netsim import PhaseTimer
 
 __all__ = [
     "run_rounds",
@@ -72,21 +74,34 @@ def run_rounds(
     states: Dict[int, S],
     inboxes: Dict[int, List[M]],
     iterations: int,
+    phases: Optional[PhaseTimer] = None,
 ) -> Tuple[Dict[int, S], List[float]]:
     """Drive the §3.6 schedule and return (final states, trajectory).
 
     ``iterations`` computation+communication rounds, then one final
     computation step whose outgoing messages are discarded — exactly the
     shape both plaintext modes always had, now shared by every backend.
+
+    ``phases`` (optional) accumulates per-phase wall-clock through the
+    shared :func:`~repro.obs.trace.timed_phase` path — the same recorder
+    code path every engine uses, so ``RunResult.phases`` means the same
+    thing everywhere. Telemetry reads only the injectable clock: it never
+    touches the RNG or reorders work, so traced runs stay bit-identical.
     """
     if iterations < 0:
         raise ConfigurationError("iteration count cannot be negative")
+    recorder = current_recorder()
     trajectory: List[float] = []
-    for _ in range(iterations):
-        states, outboxes = superstep(states, inboxes)
-        inboxes = route(outboxes)
+    for round_index in range(iterations):
+        with recorder.span("round", round=round_index):
+            with timed_phase(phases, "computation"):
+                states, outboxes = superstep(states, inboxes)
+            with timed_phase(phases, "communication"):
+                inboxes = route(outboxes)
         trajectory.append(observe(states))
-    states, _ = superstep(states, inboxes)
+    with recorder.span("round", round=iterations):
+        with timed_phase(phases, "computation"):
+            states, _ = superstep(states, inboxes)
     trajectory.append(observe(states))
     return states, trajectory
 
@@ -149,6 +164,7 @@ async def run_rounds_async(
     fill: M,
     max_tasks: Optional[int] = None,
     overlap: bool = True,
+    phases: Optional[PhaseTimer] = None,
 ) -> Tuple[Dict[int, S], List[float]]:
     """The §3.6 schedule as per-vertex pipelines over a transport.
 
@@ -186,6 +202,11 @@ async def run_rounds_async(
         raise ConfigurationError("iteration count cannot be negative")
     if max_tasks is not None and max_tasks < 1:
         raise ConfigurationError("max_tasks must be at least 1")
+    # Note on phase semantics under overlap: per-pipeline communication
+    # waits run concurrently, so the summed "communication" seconds can
+    # legitimately exceed wall-clock — that over-count *is* the overlap
+    # the engine exists to exploit (documented in DESIGN.md).
+    recorder = current_recorder()
     vertex_ids = graph.vertex_ids
     transport.open(graph, fill)
     # (out_slot -> (dst, in_slot)) per vertex, precomputed once: senders
@@ -233,25 +254,31 @@ async def run_rounds_async(
             state = states[vid]
             inbox = inboxes[vid]
             for round_index in range(iterations):
-                if gate is not None:
-                    async with gate:
-                        # the yield makes the gate real: the holder
-                        # suspends here, so other pipelines actually
-                        # queue on acquire while this slot is occupied
-                        await asyncio.sleep(0)
-                        state, outbox = update(vid, state, inbox)
-                else:
-                    state, outbox = update(vid, state, inbox)
-                record(round_index, vid, state)
-                sends = [
-                    transport.send(vid, dst, in_slot, outbox[out_slot], round_index)
-                    for out_slot, (dst, in_slot) in enumerate(routes[vid])
-                ]
-                if sends:
-                    await asyncio.gather(*sends)
-                inbox = await transport.gather_round(vid, round_index)
-            state, _ = update(vid, state, inbox)
-            record(iterations, vid, state)
+                with recorder.span("round", round=round_index, vertex=vid):
+                    if gate is not None:
+                        async with gate:
+                            # the yield makes the gate real: the holder
+                            # suspends here, so other pipelines actually
+                            # queue on acquire while this slot is occupied
+                            await asyncio.sleep(0)
+                            with timed_phase(phases, "computation"):
+                                state, outbox = update(vid, state, inbox)
+                    else:
+                        with timed_phase(phases, "computation"):
+                            state, outbox = update(vid, state, inbox)
+                    record(round_index, vid, state)
+                    sends = [
+                        transport.send(vid, dst, in_slot, outbox[out_slot], round_index)
+                        for out_slot, (dst, in_slot) in enumerate(routes[vid])
+                    ]
+                    with timed_phase(phases, "communication"):
+                        if sends:
+                            await asyncio.gather(*sends)
+                        inbox = await transport.gather_round(vid, round_index)
+            with recorder.span("round", round=iterations, vertex=vid):
+                with timed_phase(phases, "computation"):
+                    state, _ = update(vid, state, inbox)
+                record(iterations, vid, state)
 
         # first failure cancels the siblings: a transport fault (dropped
         # delivery, dead peer) raises in one pipeline while the others are
@@ -272,22 +299,29 @@ async def run_rounds_async(
         current = dict(states)
         current_inboxes = dict(inboxes)
         for round_index in range(iterations):
-            outboxes: Dict[int, List[M]] = {}
-            for vid in vertex_ids:
-                current[vid], outboxes[vid] = update(
-                    vid, current[vid], current_inboxes[vid]
-                )
-                record(round_index, vid, current[vid])
-            for vid in vertex_ids:
-                for out_slot, (dst, in_slot) in enumerate(routes[vid]):
-                    await transport.send(
-                        vid, dst, in_slot, outboxes[vid][out_slot], round_index
-                    )
-            for vid in vertex_ids:
-                current_inboxes[vid] = await transport.gather_round(vid, round_index)
-        for vid in vertex_ids:
-            current[vid], _ = update(vid, current[vid], current_inboxes[vid])
-            record(iterations, vid, current[vid])
+            with recorder.span("round", round=round_index):
+                outboxes: Dict[int, List[M]] = {}
+                with timed_phase(phases, "computation"):
+                    for vid in vertex_ids:
+                        current[vid], outboxes[vid] = update(
+                            vid, current[vid], current_inboxes[vid]
+                        )
+                        record(round_index, vid, current[vid])
+                with timed_phase(phases, "communication"):
+                    for vid in vertex_ids:
+                        for out_slot, (dst, in_slot) in enumerate(routes[vid]):
+                            await transport.send(
+                                vid, dst, in_slot, outboxes[vid][out_slot], round_index
+                            )
+                    for vid in vertex_ids:
+                        current_inboxes[vid] = await transport.gather_round(
+                            vid, round_index
+                        )
+        with recorder.span("round", round=iterations):
+            with timed_phase(phases, "computation"):
+                for vid in vertex_ids:
+                    current[vid], _ = update(vid, current[vid], current_inboxes[vid])
+                    record(iterations, vid, current[vid])
 
     final_states = {vid: round_states[iterations][vid] for vid in vertex_ids}
     return final_states, trajectory

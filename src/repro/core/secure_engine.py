@@ -38,7 +38,6 @@ drivers by construction; only wall-clock and the bus's own metering move.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -61,6 +60,8 @@ from repro.mpc.noise_circuit import (
     build_partial_sum_circuit,
     geometric_bits_seed_width,
 )
+from repro.obs.metrics import absorb_gmw
+from repro.obs.trace import current_recorder, timed_phase
 from repro.privacy.budget import PrivacyAccountant
 from repro.privacy.edge_privacy import per_iteration_epsilon, transfer_sensitivity
 from repro.sharing.xor import reconstruct_value, share_value
@@ -203,22 +204,24 @@ class SecureEngine:
         roughly its size class, which the paper notes is acceptable — in
         exchange for much cheaper MPC steps at low-degree vertices.
         """
+        recorder = current_recorder()
         ctx = self._begin_run(graph, iterations, accountant, bucket_bounds)
         for _step in range(iterations):
-            started = time.perf_counter()
-            for _batch in self._computation_blocks(ctx):
-                pass
-            ctx.phases.add("computation", time.perf_counter() - started)
-            ctx.trajectory.append(self._simulated_aggregate(graph, ctx.state_shares))
-            started = time.perf_counter()
-            for _batch in self._communication_transfers(ctx):
-                pass
-            ctx.phases.add("communication", time.perf_counter() - started)
+            with recorder.span("round", round=_step):
+                with timed_phase(ctx.phases, "computation"):
+                    for _batch in self._computation_blocks(ctx):
+                        pass
+                ctx.trajectory.append(
+                    self._simulated_aggregate(graph, ctx.state_shares)
+                )
+                with timed_phase(ctx.phases, "communication"):
+                    for _batch in self._communication_transfers(ctx):
+                        pass
         # Final computation step (§3.6).
-        started = time.perf_counter()
-        for _batch in self._computation_blocks(ctx):
-            pass
-        ctx.phases.add("computation", time.perf_counter() - started)
+        with recorder.span("round", round=iterations):
+            with timed_phase(ctx.phases, "computation"):
+                for _batch in self._computation_blocks(ctx):
+                    pass
         ctx.trajectory.append(self._simulated_aggregate(graph, ctx.state_shares))
         return self._finish_run(ctx)
 
@@ -245,26 +248,28 @@ class SecureEngine:
         """
         transport.open(graph, fill=None)
         scheduler = SecureRoundScheduler(transport, max_tasks=max_tasks, overlap=overlap)
+        recorder = current_recorder()
         ctx = self._begin_run(graph, iterations, accountant, bucket_bounds)
         try:
             for step in range(iterations):
-                started = time.perf_counter()
-                for batch in self._computation_blocks(ctx):
-                    await scheduler.dispatch(batch, step, kind="ot")
-                await scheduler.barrier()
-                ctx.phases.add("computation", time.perf_counter() - started)
-                ctx.trajectory.append(self._simulated_aggregate(graph, ctx.state_shares))
-                started = time.perf_counter()
-                for batch in self._communication_transfers(ctx):
-                    await scheduler.dispatch(batch, step, kind="transfer")
-                await scheduler.barrier()
-                ctx.phases.add("communication", time.perf_counter() - started)
+                with recorder.span("round", round=step):
+                    with timed_phase(ctx.phases, "computation"):
+                        for batch in self._computation_blocks(ctx):
+                            await scheduler.dispatch(batch, step, kind="ot")
+                        await scheduler.barrier()
+                    ctx.trajectory.append(
+                        self._simulated_aggregate(graph, ctx.state_shares)
+                    )
+                    with timed_phase(ctx.phases, "communication"):
+                        for batch in self._communication_transfers(ctx):
+                            await scheduler.dispatch(batch, step, kind="transfer")
+                        await scheduler.barrier()
             # Final computation step (§3.6).
-            started = time.perf_counter()
-            for batch in self._computation_blocks(ctx):
-                await scheduler.dispatch(batch, iterations, kind="ot")
-            await scheduler.barrier()
-            ctx.phases.add("computation", time.perf_counter() - started)
+            with recorder.span("round", round=iterations):
+                with timed_phase(ctx.phases, "computation"):
+                    for batch in self._computation_blocks(ctx):
+                        await scheduler.dispatch(batch, iterations, kind="ot")
+                    await scheduler.barrier()
         except BaseException:
             # unwinding past in-flight deliveries would leak their tasks
             # (and log any sibling faults as never-retrieved); consume
@@ -299,7 +304,61 @@ class SecureEngine:
             accountant.charge(config.output_epsilon, label=f"{program.name}-release")
 
         # ---------------------------------------------------------- setup --
-        started = time.perf_counter()
+        with timed_phase(phases, "setup"):
+            nodes, assignment = self._setup_blocks(graph, config, rng, meter, bits)
+
+        # --------------------------------------------------------- init --
+        with timed_phase(phases, "initialization"):
+            state_shares, inbox_shares = self._share_initial_state(
+                graph, config, program, vertex_bound, assignment, rng, meter,
+                word_bytes,
+            )
+
+        circuits = {
+            bound: program.build_update_circuit(bound)
+            for bound in sorted(set(vertex_bound.values()))
+        }
+        if self.backend == "bitsliced":
+            # Imported lazily: numpy is an optional dependency and the
+            # scalar path must keep working without it.
+            from repro.mpc.bitslice import BitslicedGMWEngine
+
+            gmw: GMWEngine = BitslicedGMWEngine(
+                config.block_size,
+                ot=SimulatedObliviousTransfer(config.group),
+                mode=config.gmw_mode,
+            )
+        else:
+            gmw = GMWEngine(
+                config.block_size,
+                ot=SimulatedObliviousTransfer(config.group),
+                mode=config.gmw_mode,
+            )
+        return _RunContext(
+            graph=graph,
+            iterations=iterations,
+            nodes=nodes,
+            assignment=assignment,
+            vertex_bound=vertex_bound,
+            circuits=circuits,
+            circuit_and_gates=circuits[max(circuits)].stats().and_gates,
+            gmw=gmw,
+            state_shares=state_shares,
+            inbox_shares=inbox_shares,
+            meter=meter,
+            phases=phases,
+            rng=rng,
+        )
+
+    def _setup_blocks(
+        self,
+        graph: DistributedGraph,
+        config: DStressConfig,
+        rng: DeterministicRNG,
+        meter: TrafficMeter,
+        bits: int,
+    ) -> Tuple[Dict[int, SimulatedNode], BlockAssignment]:
+        """§3.4 setup: node keys, block assignment, certificate forwarding."""
         nodes: Dict[int, SimulatedNode] = {
             v: SimulatedNode.create(v, self.elgamal, bits, graph.degree_bound, rng)
             for v in graph.vertex_ids
@@ -326,10 +385,22 @@ class SecureEngine:
                     config.block_size * bits * self.elgamal.group.element_size_bytes
                 )
                 meter.record_send(view.vertex_id, neighbor, cert_bytes)
-        phases.add("setup", time.perf_counter() - started)
+        return nodes, assignment
 
-        # --------------------------------------------------------- init --
-        started = time.perf_counter()
+    def _share_initial_state(
+        self,
+        graph: DistributedGraph,
+        config: DStressConfig,
+        program: VertexProgram,
+        vertex_bound: Dict[int, int],
+        assignment: BlockAssignment,
+        rng: DeterministicRNG,
+        meter: TrafficMeter,
+        word_bytes: float,
+    ) -> Tuple[Dict[int, Dict[str, List[int]]], Dict[int, List[List[int]]]]:
+        """§3.6 init: XOR-share every vertex's state and no-op inbox slots."""
+        fmt = program.fmt
+        bits = fmt.total_bits
         block_size = config.block_size
         state_shares: Dict[int, Dict[str, List[int]]] = {}
         inbox_shares: Dict[int, List[List[int]]] = {}
@@ -350,43 +421,7 @@ class SecureEngine:
                     share_value(fmt.to_unsigned(raw_no_op), bits, block_size, rng)
                 )
                 self._meter_share_distribution(meter, v, assignment.blocks[v], word_bytes)
-        phases.add("initialization", time.perf_counter() - started)
-
-        circuits = {
-            bound: program.build_update_circuit(bound)
-            for bound in sorted(set(vertex_bound.values()))
-        }
-        if self.backend == "bitsliced":
-            # Imported lazily: numpy is an optional dependency and the
-            # scalar path must keep working without it.
-            from repro.mpc.bitslice import BitslicedGMWEngine
-
-            gmw: GMWEngine = BitslicedGMWEngine(
-                block_size,
-                ot=SimulatedObliviousTransfer(config.group),
-                mode=config.gmw_mode,
-            )
-        else:
-            gmw = GMWEngine(
-                block_size,
-                ot=SimulatedObliviousTransfer(config.group),
-                mode=config.gmw_mode,
-            )
-        return _RunContext(
-            graph=graph,
-            iterations=iterations,
-            nodes=nodes,
-            assignment=assignment,
-            vertex_bound=vertex_bound,
-            circuits=circuits,
-            circuit_and_gates=circuits[max(circuits)].stats().and_gates,
-            gmw=gmw,
-            state_shares=state_shares,
-            inbox_shares=inbox_shares,
-            meter=meter,
-            phases=phases,
-            rng=rng,
-        )
+        return state_shares, inbox_shares
 
     def _finish_run(self, ctx: _RunContext) -> SecureRunResult:
         """Aggregation + noising + result assembly, identical for both
@@ -394,11 +429,10 @@ class SecureEngine:
         config = self.config
         fmt = self.program.fmt
         bits = fmt.total_bits
-        started = time.perf_counter()
-        noisy_raw, pre_noise_raw, levels = self._aggregate_and_noise(
-            ctx.graph, ctx.gmw, ctx.state_shares, ctx.assignment, ctx.meter, ctx.rng
-        )
-        ctx.phases.add("aggregation", time.perf_counter() - started)
+        with timed_phase(ctx.phases, "aggregation"):
+            noisy_raw, pre_noise_raw, levels = self._aggregate_and_noise(
+                ctx.graph, ctx.gmw, ctx.state_shares, ctx.assignment, ctx.meter, ctx.rng
+            )
 
         edge_eps = None
         if config.edge_noise_alpha is not None:
@@ -530,34 +564,32 @@ class SecureEngine:
         gmw = ctx.gmw
         meter = ctx.meter
 
-        started = time.perf_counter()
-        builders: Dict[int, object] = {}
-        batch_inputs: Dict[int, List[Dict[str, List[int]]]] = {}
-        batch_vertices: Dict[int, List[int]] = {}
-        for view in ctx.graph.vertices():
-            v = view.vertex_id
-            bound = ctx.vertex_bound[v]
-            builder = builders.get(bound)
-            if builder is None:
-                builder = builders[bound] = gmw.pool_builder(ctx.circuits[bound])
-                batch_inputs[bound] = []
-                batch_vertices[bound] = []
-            shared_inputs = dict(ctx.state_shares[v])
-            for slot in range(bound):
-                shared_inputs[f"msg_in_{slot}"] = ctx.inbox_shares[v][slot]
-            builder.add_instance(ctx.rng)
-            batch_inputs[bound].append(shared_inputs)
-            batch_vertices[bound].append(v)
-        ctx.phases.add("gmw-offline", time.perf_counter() - started)
+        with timed_phase(ctx.phases, "gmw-offline"):
+            builders: Dict[int, object] = {}
+            batch_inputs: Dict[int, List[Dict[str, List[int]]]] = {}
+            batch_vertices: Dict[int, List[int]] = {}
+            for view in ctx.graph.vertices():
+                v = view.vertex_id
+                bound = ctx.vertex_bound[v]
+                builder = builders.get(bound)
+                if builder is None:
+                    builder = builders[bound] = gmw.pool_builder(ctx.circuits[bound])
+                    batch_inputs[bound] = []
+                    batch_vertices[bound] = []
+                shared_inputs = dict(ctx.state_shares[v])
+                for slot in range(bound):
+                    shared_inputs[f"msg_in_{slot}"] = ctx.inbox_shares[v][slot]
+                builder.add_instance(ctx.rng)
+                batch_inputs[bound].append(shared_inputs)
+                batch_vertices[bound].append(v)
 
-        started = time.perf_counter()
-        results: Dict[int, object] = {}
-        for bound, builder in builders.items():
-            batch = gmw.evaluate_batch(
-                ctx.circuits[bound], batch_inputs[bound], pools=builder.build()
-            )
-            results.update(zip(batch_vertices[bound], batch))
-        ctx.phases.add("gmw-online", time.perf_counter() - started)
+        with timed_phase(ctx.phases, "gmw-online"):
+            results: Dict[int, object] = {}
+            for bound, builder in builders.items():
+                batch = gmw.evaluate_batch(
+                    ctx.circuits[bound], batch_inputs[bound], pools=builder.build()
+                )
+                results.update(zip(batch_vertices[bound], batch))
 
         for view in ctx.graph.vertices():
             v = view.vertex_id
@@ -815,4 +847,15 @@ class SecureEngine:
             _record_link(meter, link_bytes, members[i], members[j], pair_bytes)
         for member in members:
             meter.node(member).gmw_evaluations += 1
+        recorder = current_recorder()
+        if recorder.enabled:
+            # pair indices are block-local; attribute the bits to the real
+            # member node ids so the series lines up with traffic.link.bytes
+            absorb_gmw(
+                recorder.metrics,
+                {
+                    (members[i], members[j]): bits
+                    for (i, j), bits in result.traffic.pair_bits.items()
+                },
+            )
         return link_bytes

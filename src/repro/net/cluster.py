@@ -85,6 +85,10 @@ class ClusterRun:
     #: Chaos: ``{party_id: round_index}`` — those parties hard-exit
     #: (``os._exit(17)``) the first time a send/convey reaches that round.
     die_at_round: Dict[int, int] = field(default_factory=dict)
+    #: When set, each child runs under a :class:`~repro.obs.trace.TraceRecorder`
+    #: and writes ``party-<id>.jsonl`` here after its run; the parent merges
+    #: the shards into ``timeline.json`` (see :mod:`repro.obs.merge`).
+    trace_dir: Optional[str] = None
 
 
 def _result_summary(result) -> Dict[str, Any]:
@@ -122,10 +126,33 @@ def _child_main(run: ClusterRun, party_id: int, conn) -> None:
         test = run.build(party_id)
         options = dict(run.engine_options)
         options["transport"] = transport
-        result = test.engine(run.engine, **options).run(
-            iterations=run.iterations
-        )
-        conn.send(("ok", _result_summary(result)))
+        summary: Dict[str, Any]
+        if run.trace_dir is not None:
+            from repro.obs.merge import write_trace_shard
+            from repro.obs.trace import TraceRecorder, recording
+
+            recorder = TraceRecorder(party=party_id)
+            with recording(recorder):
+                result = test.engine(run.engine, **options).run(
+                    iterations=run.iterations
+                )
+            # the shard is written after the run completes: tracing must
+            # never add I/O inside the protocol's round schedule
+            shard_path = os.path.join(run.trace_dir, f"party-{party_id}.jsonl")
+            write_trace_shard(
+                shard_path,
+                recorder,
+                traffic=result.traffic,
+                meta={"engine": result.engine, "iterations": result.iterations},
+            )
+            summary = _result_summary(result)
+            summary["trace_shard"] = shard_path
+        else:
+            result = test.engine(run.engine, **options).run(
+                iterations=run.iterations
+            )
+            summary = _result_summary(result)
+        conn.send(("ok", summary))
         # shutdown barrier: hold the mesh open until every party reported,
         # so our clean close cannot reset a slower peer mid-run
         if conn.poll(run.timeout):
@@ -155,6 +182,7 @@ def run_scenario_cluster(
     io_timeout: float = 30.0,
     timeout: float = 120.0,
     die_at_round: Optional[Dict[int, int]] = None,
+    trace_dir: Optional[str] = None,
 ) -> List[ClusterOutcome]:
     """Run one scenario across ``num_parties`` real OS processes.
 
@@ -163,9 +191,17 @@ def run_scenario_cluster(
     every ``"ok"`` summary is bit-identical to an in-memory run of the
     same scenario, and that chaos runs surface *named* transport errors
     instead of timing out the harness.
+
+    ``trace_dir`` turns on per-party tracing: each child records spans and
+    metrics under a :class:`~repro.obs.trace.TraceRecorder` and writes a
+    JSONL shard into the directory; after all reports are in, the parent
+    merges the shards into ``<trace_dir>/timeline.json`` (best effort —
+    a partial cluster still merges whatever shards landed).
     """
     if num_parties < 2:
         raise ConfigurationError("a cluster needs at least two parties")
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     run = ClusterRun(
         build=build,
         num_parties=num_parties,
@@ -178,6 +214,7 @@ def run_scenario_cluster(
         io_timeout=io_timeout,
         timeout=timeout,
         die_at_round=dict(die_at_round or {}),
+        trace_dir=trace_dir,
     )
     ctx = get_context("fork")
     pipes = []
@@ -263,6 +300,15 @@ def run_scenario_cluster(
                 proc.join(timeout=connect_timeout)
         for conn in pipes:
             conn.close()
+    if trace_dir is not None:
+        from repro.obs.merge import merge_cluster_trace
+
+        try:
+            merge_cluster_trace(trace_dir)
+        except OSError:
+            # a chaos run can leave no shards at all; the outcomes still
+            # tell the caller what happened
+            pass
     return [outcome for outcome in outcomes if outcome is not None]
 
 

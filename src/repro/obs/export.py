@@ -1,0 +1,260 @@
+"""Versioned, JSON-safe export of runs, batches, ledgers, and traces.
+
+Three document schemas, each carrying a ``schema`` name and integer
+``version``:
+
+* ``dstress.obs.run`` — one :class:`RunResult`, optionally with the
+  trace recorder that watched it;
+* ``dstress.obs.batch`` — one :class:`BatchResult`, optionally with the
+  accountant's audit ledger;
+* ``dstress.obs.timeline`` — a merged multi-party cluster trace (built
+  by :mod:`repro.obs.merge`).
+
+The schemas are **append-only**: new optional fields may be added in
+later versions, but existing fields are never renamed, retyped, or
+removed — dashboards built against version 1 keep working forever.
+Validation is hand-rolled (:func:`validate_export`) because the
+reproduction is stdlib-only by design.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+RUN_SCHEMA = "dstress.obs.run"
+BATCH_SCHEMA = "dstress.obs.batch"
+TIMELINE_SCHEMA = "dstress.obs.timeline"
+SCHEMA_VERSION = 1
+
+__all__ = [
+    "RUN_SCHEMA",
+    "BATCH_SCHEMA",
+    "TIMELINE_SCHEMA",
+    "SCHEMA_VERSION",
+    "export_run",
+    "export_batch",
+    "export_ledger",
+    "export_recorder",
+    "export_traffic",
+    "validate_export",
+]
+
+
+def export_traffic(traffic: Any) -> Optional[Dict[str, Any]]:
+    """TrafficMeter -> JSON-safe dict; links as ``[src, dst, bytes]``
+    triples (JSON objects can't key on tuples) sorted by (src, dst)."""
+    if traffic is None:
+        return None
+    nodes = {}
+    for node_id in traffic.node_ids:
+        stats = traffic.node(node_id)
+        nodes[str(node_id)] = {
+            "bytes_sent": stats.bytes_sent,
+            "bytes_received": stats.bytes_received,
+            "exponentiations": stats.exponentiations,
+            "ot_transfers": stats.ot_transfers,
+            "gmw_evaluations": stats.gmw_evaluations,
+        }
+    links = [
+        [src, dst, nbytes]
+        for (src, dst), nbytes in sorted(traffic.links().items())
+    ]
+    return {
+        "nodes": nodes,
+        "links": links,
+        "total_bytes_sent": traffic.total_bytes_sent,
+    }
+
+
+def export_recorder(recorder: Any) -> Optional[Dict[str, Any]]:
+    """TraceRecorder -> JSON-safe spans + metrics dict."""
+    if recorder is None or not getattr(recorder, "enabled", False):
+        return None
+    return {
+        "party": recorder.party,
+        "spans": [span.to_dict() for span in recorder.spans],
+        "metrics": recorder.metrics.as_dict(),
+    }
+
+
+def export_run(result: Any, recorder: Any = None) -> Dict[str, Any]:
+    """One RunResult -> a ``dstress.obs.run`` document."""
+    phases = getattr(result, "phases", None)
+    return {
+        "schema": RUN_SCHEMA,
+        "version": SCHEMA_VERSION,
+        "engine": result.engine,
+        "program": result.program,
+        "aggregate": result.aggregate,
+        "pre_noise_aggregate": result.pre_noise_aggregate,
+        "noise_raw": result.noise_raw,
+        "epsilon": result.epsilon,
+        "iterations": result.iterations,
+        "wall_seconds": result.wall_seconds,
+        "trajectory": list(result.trajectory),
+        "extras": dict(result.extras or {}),
+        "phases": dict(phases.seconds) if phases is not None else None,
+        "traffic": export_traffic(getattr(result, "traffic", None)),
+        "trace": export_recorder(recorder),
+    }
+
+
+def export_ledger(accountant: Any) -> Optional[Dict[str, Any]]:
+    """PrivacyAccountant -> its audit ledger plus a reconciliation."""
+    if accountant is None:
+        return None
+    reconciliation = accountant.reconcile()
+    return {
+        "epsilon_max": accountant.epsilon_max,
+        "period": accountant.period,
+        "spent": accountant.spent,
+        "entries": [entry.to_dict() for entry in accountant.ledger],
+        "reconciliation": {
+            "ok": reconciliation.ok,
+            "ledger_spent": reconciliation.ledger_spent,
+            "accounted_spent": reconciliation.accounted_spent,
+            "outstanding": reconciliation.outstanding,
+            "issues": list(reconciliation.issues),
+        },
+    }
+
+
+def export_batch(batch: Any, accountant: Any = None) -> Dict[str, Any]:
+    """One BatchResult -> a ``dstress.obs.batch`` document."""
+    outcomes = []
+    for outcome in batch.outcomes:
+        entry: Dict[str, Any] = {
+            "name": outcome.name,
+            "ok": outcome.ok,
+            "error": outcome.error,
+            "seconds": outcome.seconds,
+            "cached": outcome.cached,
+        }
+        if outcome.result is not None:
+            entry["engine"] = outcome.result.engine
+            entry["aggregate"] = outcome.result.aggregate
+            entry["epsilon"] = outcome.result.epsilon
+        outcomes.append(entry)
+    return {
+        "schema": BATCH_SCHEMA,
+        "version": SCHEMA_VERSION,
+        "wall_seconds": batch.wall_seconds,
+        "workers": batch.workers,
+        "epsilon_charged": batch.epsilon_charged,
+        "cache_hits": batch.cache_hits,
+        "cache_misses": batch.cache_misses,
+        "outcomes": outcomes,
+        "ledger": export_ledger(accountant),
+    }
+
+
+def _issue(issues: List[str], condition: bool, message: str) -> None:
+    if not condition:
+        issues.append(message)
+
+
+def _check_spans(spans: Any, where: str, issues: List[str]) -> None:
+    if not isinstance(spans, list):
+        issues.append(f"{where}: spans must be a list")
+        return
+    ids = set()
+    for i, span in enumerate(spans):
+        if not isinstance(span, dict):
+            issues.append(f"{where}: span[{i}] is not an object")
+            continue
+        for key in ("span_id", "name", "start"):
+            if key not in span:
+                issues.append(f"{where}: span[{i}] missing {key!r}")
+        if "span_id" in span:
+            ids.add(span["span_id"])
+        end = span.get("end")
+        if end is not None and "start" in span and end < span["start"]:
+            issues.append(f"{where}: span[{i}] ends before it starts")
+    for i, span in enumerate(spans):
+        parent = isinstance(span, dict) and span.get("parent_id")
+        if parent and parent not in ids:
+            issues.append(f"{where}: span[{i}] has unknown parent {parent}")
+
+
+def _check_traffic(traffic: Any, where: str, issues: List[str]) -> None:
+    if traffic is None:
+        return
+    if not isinstance(traffic, dict):
+        issues.append(f"{where}: traffic must be an object or null")
+        return
+    links = traffic.get("links")
+    if not isinstance(links, list):
+        issues.append(f"{where}: traffic.links must be a list")
+        return
+    for i, link in enumerate(links):
+        if not (isinstance(link, list) and len(link) == 3):
+            issues.append(f"{where}: traffic.links[{i}] must be [src, dst, bytes]")
+
+
+def validate_export(payload: Any) -> List[str]:
+    """Hand-rolled schema check; returns a list of problems (empty = ok)."""
+    issues: List[str] = []
+    if not isinstance(payload, dict):
+        return ["document must be a JSON object"]
+    schema = payload.get("schema")
+    version = payload.get("version")
+    if schema not in (RUN_SCHEMA, BATCH_SCHEMA, TIMELINE_SCHEMA):
+        return [f"unknown schema {schema!r}"]
+    if not isinstance(version, int) or version < 1:
+        issues.append(f"version must be a positive integer, got {version!r}")
+
+    if schema == RUN_SCHEMA:
+        for key in ("engine", "program", "aggregate", "iterations", "wall_seconds",
+                    "trajectory", "extras"):
+            _issue(issues, key in payload, f"run document missing {key!r}")
+        if not isinstance(payload.get("trajectory", []), list):
+            issues.append("trajectory must be a list")
+        _check_traffic(payload.get("traffic"), "run", issues)
+        trace = payload.get("trace")
+        if trace is not None:
+            if not isinstance(trace, dict):
+                issues.append("trace must be an object or null")
+            else:
+                _check_spans(trace.get("spans", []), "trace", issues)
+    elif schema == BATCH_SCHEMA:
+        for key in ("wall_seconds", "workers", "epsilon_charged", "outcomes"):
+            _issue(issues, key in payload, f"batch document missing {key!r}")
+        outcomes = payload.get("outcomes", [])
+        if not isinstance(outcomes, list):
+            issues.append("outcomes must be a list")
+            outcomes = []
+        for i, outcome in enumerate(outcomes):
+            if not isinstance(outcome, dict) or "name" not in outcome:
+                issues.append(f"outcomes[{i}] must be an object with a name")
+        ledger = payload.get("ledger")
+        if ledger is not None:
+            if not isinstance(ledger, dict) or "entries" not in ledger:
+                issues.append("ledger must be an object with entries")
+            else:
+                reconciliation = ledger.get("reconciliation", {})
+                if not reconciliation.get("ok", False):
+                    problems = reconciliation.get("issues", ["no reconciliation"])
+                    issues.extend(f"ledger: {p}" for p in problems)
+    elif schema == TIMELINE_SCHEMA:
+        for key in ("parties", "entries"):
+            _issue(issues, key in payload, f"timeline document missing {key!r}")
+        entries = payload.get("entries", [])
+        if not isinstance(entries, list):
+            issues.append("entries must be a list")
+            entries = []
+        previous = None
+        for i, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                issues.append(f"entries[{i}] must be an object")
+                continue
+            for key in ("round", "party", "start", "end"):
+                if key not in entry:
+                    issues.append(f"entries[{i}] missing {key!r}")
+            if previous is not None and "round" in entry and "party" in entry:
+                if (entry["round"], entry["party"]) < previous:
+                    issues.append(
+                        f"entries[{i}] breaks (round, party) ordering"
+                    )
+            if "round" in entry and "party" in entry:
+                previous = (entry["round"], entry["party"])
+    return issues

@@ -1,0 +1,158 @@
+"""Cross-process trace collection: JSONL shards and the merged timeline.
+
+Each party process in :func:`repro.net.cluster.run_scenario_cluster`
+records its own :class:`~repro.obs.trace.TraceRecorder` and — after its
+engine run completes, so no trace I/O interleaves with the protocol —
+writes one JSONL shard (``party-<id>.jsonl``). The harness then merges
+the shards into a single ``dstress.obs.timeline`` document.
+
+Clocks are per-process monotonic counters with unrelated origins, so the
+merge never compares raw timestamps *across* parties. The causal order
+it can assert is exactly what the round-synchronous protocol guarantees:
+spans are totally ordered **within** a party (one process, one monotonic
+clock) and round-**monotonic** across parties (round r+1 cannot start
+anywhere before round r's messages exist somewhere). The timeline
+therefore sorts by ``(round, party)`` — the key the property tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.export import SCHEMA_VERSION, TIMELINE_SCHEMA, export_traffic
+
+__all__ = [
+    "write_trace_shard",
+    "load_trace_shard",
+    "merge_shards",
+    "merge_cluster_trace",
+]
+
+
+def write_trace_shard(
+    path,
+    recorder: Any,
+    traffic: Any = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Serialize one party's recorder (and optionally its run's traffic
+    meter) as a JSONL shard. One JSON object per line; the ``type`` field
+    discriminates."""
+    path = Path(path)
+    lines: List[Dict[str, Any]] = [
+        {"type": "meta", "party": recorder.party, **(meta or {})}
+    ]
+    lines.extend({"type": "span", **span.to_dict()} for span in recorder.spans)
+    lines.append({"type": "metrics", "metrics": recorder.metrics.as_dict()})
+    exported = export_traffic(traffic)
+    if exported is not None:
+        lines.append({"type": "traffic", "traffic": exported})
+    with path.open("w") as handle:
+        for line in lines:
+            handle.write(json.dumps(line) + "\n")
+    return path
+
+
+def load_trace_shard(path) -> Dict[str, Any]:
+    """Read one JSONL shard back into ``{party, meta, spans, metrics,
+    traffic}``."""
+    shard: Dict[str, Any] = {
+        "party": None,
+        "meta": {},
+        "spans": [],
+        "metrics": None,
+        "traffic": None,
+    }
+    with Path(path).open() as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            record = json.loads(raw)
+            kind = record.pop("type", None)
+            if kind == "meta":
+                shard["party"] = record.pop("party", None)
+                shard["meta"] = record
+            elif kind == "span":
+                shard["spans"].append(record)
+            elif kind == "metrics":
+                shard["metrics"] = record.get("metrics")
+            elif kind == "traffic":
+                shard["traffic"] = record.get("traffic")
+    return shard
+
+
+def _round_of(span: Dict[str, Any]) -> Optional[int]:
+    value = (span.get("attrs") or {}).get("round")
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def merge_shards(shards: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge loaded shards into one ``dstress.obs.timeline`` document.
+
+    Timeline entries aggregate each party's spans per round: entry
+    ``(round, party)`` covers every span carrying that ``round`` attr
+    (min start, max end, span count). Entries are sorted by
+    ``(round, party)`` — the causal order the protocol guarantees.
+    """
+    parties: List[int] = []
+    entries: Dict[Any, Dict[str, Any]] = {}
+    traffic: Dict[str, Any] = {}
+    metrics: Dict[str, Any] = {}
+    for shard in shards:
+        party = shard.get("party")
+        if party is None:
+            continue
+        parties.append(party)
+        if shard.get("traffic") is not None:
+            traffic[str(party)] = shard["traffic"]
+        if shard.get("metrics") is not None:
+            metrics[str(party)] = shard["metrics"]
+        for span in shard.get("spans", []):
+            round_index = _round_of(span)
+            if round_index is None:
+                continue
+            key = (round_index, party)
+            end = span.get("end", span["start"])
+            if end is None:
+                end = span["start"]
+            entry = entries.get(key)
+            if entry is None:
+                entries[key] = {
+                    "round": round_index,
+                    "party": party,
+                    "start": span["start"],
+                    "end": end,
+                    "spans": 1,
+                }
+            else:
+                entry["start"] = min(entry["start"], span["start"])
+                entry["end"] = max(entry["end"], end)
+                entry["spans"] += 1
+    return {
+        "schema": TIMELINE_SCHEMA,
+        "version": SCHEMA_VERSION,
+        "parties": sorted(parties),
+        "entries": [entries[key] for key in sorted(entries)],
+        "traffic": traffic,
+        "metrics": metrics,
+    }
+
+
+def merge_cluster_trace(trace_dir) -> Dict[str, Any]:
+    """Merge every ``party-*.jsonl`` shard under ``trace_dir`` and write
+    the result next to them as ``timeline.json``."""
+    trace_dir = Path(trace_dir)
+    shards = [
+        load_trace_shard(path) for path in sorted(trace_dir.glob("party-*.jsonl"))
+    ]
+    timeline = merge_shards(shards)
+    (trace_dir / "timeline.json").write_text(json.dumps(timeline, indent=2) + "\n")
+    return timeline

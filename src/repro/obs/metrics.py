@@ -1,0 +1,135 @@
+"""A namespaced metrics registry plus absorbers for the repo's existing
+telemetry surfaces.
+
+The registry is deliberately small: counters (monotonic sums), gauges
+(last-write-wins), and histograms (count/sum/min/max). Keys are
+``name{label=value,...}`` with labels sorted, so two code paths emitting
+the same logical series always collide onto one entry.
+
+The ``absorb_*`` helpers translate the pre-existing telemetry objects —
+:class:`PhaseTimer`, :class:`TrafficMeter`, GMW ``pair_bits``, cache
+``stats()`` — into registry series under the stable names documented in
+README.md, which is what makes ``repro.obs`` the single query surface
+for "what did this run spend and where did the time go".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+
+def _key(name: str, labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms keyed by name + sorted labels."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Dict[str, float]] = {}
+
+    def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        key = _key(name, labels)
+        self.counters[key] = self.counters.get(key, 0.0) + float(value)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.gauges[_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = _key(name, labels)
+        hist = self.histograms.get(key)
+        value = float(value)
+        if hist is None:
+            self.histograms[key] = {"count": 1.0, "sum": value, "min": value, "max": value}
+            return
+        hist["count"] += 1.0
+        hist["sum"] += value
+        hist["min"] = min(hist["min"], value)
+        hist["max"] = max(hist["max"], value)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + value
+        self.gauges.update(other.gauges)
+        for key, hist in other.histograms.items():
+            mine = self.histograms.get(key)
+            if mine is None:
+                self.histograms[key] = dict(hist)
+                continue
+            mine["count"] += hist["count"]
+            mine["sum"] += hist["sum"]
+            mine["min"] = min(mine["min"], hist["min"])
+            mine["max"] = max(mine["max"], hist["max"])
+
+
+def absorb_phases(registry: MetricsRegistry, phases: Any) -> None:
+    """PhaseTimer -> ``phase.seconds{phase=...}`` gauges."""
+    if phases is None:
+        return
+    for name, seconds in phases.seconds.items():
+        registry.set_gauge("phase.seconds", seconds, phase=name)
+
+
+def absorb_traffic(registry: MetricsRegistry, traffic: Any) -> None:
+    """TrafficMeter -> per-node byte gauges + per-directed-link gauges."""
+    if traffic is None:
+        return
+    for node_id in traffic.node_ids:
+        stats = traffic.node(node_id)
+        registry.set_gauge("traffic.node.bytes_sent", stats.bytes_sent, node=node_id)
+        registry.set_gauge("traffic.node.bytes_received", stats.bytes_received, node=node_id)
+    for (src, dst), nbytes in traffic.links().items():
+        registry.set_gauge("traffic.link.bytes", nbytes, src=src, dst=dst)
+
+
+def absorb_gmw(registry: MetricsRegistry, pair_bits: Mapping[Tuple[int, int], Any]) -> None:
+    """GMW per-pair bit counts -> ``gmw.pair_bits{src=,dst=}`` counters."""
+    for (src, dst), bits in pair_bits.items():
+        registry.inc("gmw.pair_bits", float(bits), src=src, dst=dst)
+
+
+def absorb_cache(registry: MetricsRegistry, cache: Any) -> None:
+    """Scenario-cache counters -> ``cache.*`` gauges (tiered caches expose
+    eviction/rejection counts; the in-memory tier has only hits/misses)."""
+    if cache is None:
+        return
+    registry.set_gauge("cache.hits", float(getattr(cache, "hits", 0)))
+    registry.set_gauge("cache.misses", float(getattr(cache, "misses", 0)))
+    for attr in ("evictions", "evicted_bytes", "rejections"):
+        value = getattr(cache, attr, None)
+        if value is not None:
+            registry.set_gauge(f"cache.{attr}", float(value))
+
+
+def absorb_result(registry: MetricsRegistry, result: Any) -> None:
+    """Absorb a finished RunResult's telemetry into the registry."""
+    absorb_phases(registry, getattr(result, "phases", None))
+    absorb_traffic(registry, getattr(result, "traffic", None))
+    registry.set_gauge("run.wall_seconds", result.wall_seconds, engine=result.engine)
+    registry.set_gauge("run.iterations", float(result.iterations), engine=result.engine)
+    for name, value in (result.extras or {}).items():
+        try:
+            registry.set_gauge(f"run.extras.{name}", float(value), engine=result.engine)
+        except (TypeError, ValueError):
+            continue
+
+
+def record_run(result: Any) -> None:
+    """Absorb a finished run into the ambient recorder, if one is active."""
+    from repro.obs.trace import current_recorder
+
+    recorder = current_recorder()
+    if recorder.enabled:
+        absorb_result(recorder.metrics, result)

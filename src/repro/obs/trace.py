@@ -1,0 +1,198 @@
+"""Structured tracing spans with an ambient, swappable recorder.
+
+The default recorder is a shared :class:`NullRecorder` whose
+``span``/``event`` calls are no-ops, so instrumented hot paths cost one
+attribute read and a truth test when tracing is off. Enabling tracing is
+scoped::
+
+    rec = TraceRecorder()
+    with recording(rec):
+        test.engine("async").run(iterations=4)
+    rec.spans  # -> [SpanRecord, ...]
+
+Design constraints, in order of importance:
+
+* **Determinism.** Spans read only the injected :class:`Clock`; they
+  never touch the seeded :class:`DeterministicRNG` or reorder protocol
+  work, so a traced run's released outputs are bit-identical to an
+  untraced run (asserted across the engine parity matrix).
+* **Ambient recorder is a module global, not a ContextVar.** The async
+  engines fall back to running their event loop on a worker thread when
+  a loop is already running (``run_coroutine``), and forked cluster
+  children inherit module state; a ContextVar would silently drop the
+  recorder in both cases.
+* **Span parentage *is* a ContextVar.** ``asyncio`` tasks copy their
+  context at creation, so per-task span nesting comes out right even
+  with dozens of interleaved vertex pipelines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.clock import SYSTEM_CLOCK, Clock
+from repro.obs.metrics import MetricsRegistry
+
+_ACTIVE_SPAN: ContextVar[Optional[int]] = ContextVar("repro_obs_active_span", default=None)
+
+
+@dataclass
+class SpanRecord:
+    """One closed (or still-open) span: a named, timed unit of work."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    events: List[Tuple[float, str, Dict[str, Any]]] = field(default_factory=list)
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+            "events": [
+                {"time": ts, "name": name, "attrs": dict(attrs)}
+                for ts, name, attrs in self.events
+            ],
+        }
+
+
+class NullRecorder:
+    """The default, disabled recorder: every operation is a no-op."""
+
+    enabled = False
+    party: Optional[int] = None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        yield None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+class TraceRecorder:
+    """Collects spans and metrics for one run (or one party process)."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Clock] = None, party: Optional[int] = None) -> None:
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.party = party
+        self.spans: List[SpanRecord] = []
+        self.metrics = MetricsRegistry()
+        self._ids = itertools.count(1)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[SpanRecord]:
+        record = SpanRecord(
+            span_id=next(self._ids),
+            parent_id=_ACTIVE_SPAN.get(),
+            name=name,
+            start=self.clock.now(),
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        token = _ACTIVE_SPAN.set(record.span_id)
+        try:
+            yield record
+        finally:
+            _ACTIVE_SPAN.reset(token)
+            record.end = self.clock.now()
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach a point-in-time event to the active span (or record a
+        zero-length root event when no span is open)."""
+        stamp = self.clock.now()
+        active = _ACTIVE_SPAN.get()
+        if active is not None:
+            for record in reversed(self.spans):
+                if record.span_id == active:
+                    record.events.append((stamp, name, dict(attrs)))
+                    return
+        self.spans.append(
+            SpanRecord(
+                span_id=next(self._ids),
+                parent_id=None,
+                name=name,
+                start=stamp,
+                end=stamp,
+                attrs=dict(attrs),
+            )
+        )
+
+
+_NULL = NullRecorder()
+_RECORDER: Any = _NULL
+
+
+def current_recorder() -> Any:
+    """The ambient recorder: a :class:`TraceRecorder` inside a
+    :func:`recording` block, the shared no-op otherwise."""
+    return _RECORDER
+
+
+def set_recorder(recorder: Optional[Any]) -> Any:
+    """Install ``recorder`` as the ambient recorder (``None`` restores the
+    no-op). Returns the previous recorder so callers can restore it."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder if recorder is not None else _NULL
+    return previous
+
+
+@contextmanager
+def recording(recorder: Any) -> Iterator[Any]:
+    """Scope ``recorder`` as the ambient recorder for a ``with`` block."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+@contextmanager
+def timed_phase(phases: Any, name: str, **attrs: Any) -> Iterator[None]:
+    """Time a block into ``phases`` (a :class:`PhaseTimer` or ``None``)
+    and, when tracing is on, record it as a ``phase`` span too.
+
+    This is the one shared code path that fills ``RunResult.phases`` for
+    every engine. With ``phases is None`` and tracing off it degenerates
+    to a bare ``yield`` — zero clock reads on the disabled path.
+    """
+    recorder = _RECORDER
+    if phases is None and not recorder.enabled:
+        yield
+        return
+    if recorder.enabled:
+        record = None
+        try:
+            with recorder.span("phase", phase=name, **attrs) as record:
+                yield
+        finally:
+            # span end is stamped on context exit; reuse it so the
+            # PhaseTimer and the span agree to the same clock reads
+            if phases is not None and record is not None and record.end is not None:
+                phases.add(name, max(0.0, record.end - record.start))
+        return
+    started = SYSTEM_CLOCK.now()
+    try:
+        yield
+    finally:
+        phases.add(name, SYSTEM_CLOCK.now() - started)

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.exceptions import PrivacyBudgetExceeded, SensitivityError
 
 __all__ = [
     "BudgetCharge",
+    "LedgerEntry",
+    "LedgerReconciliation",
     "PrivacyAccountant",
     "DEFAULT_EPSILON_MAX",
     "whole_releases",
@@ -85,6 +87,57 @@ class BudgetCharge:
     period: int
 
 
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One immutable line of the audit ledger: every budget mutation —
+    charge, refund, replenish — in the order it happened.
+
+    Unlike :attr:`PrivacyAccountant.charges` (the *live* books, which a
+    refund edits in place), the ledger is append-only: a refunded charge
+    stays visible together with the refund that undid it, which is what
+    makes after-the-fact budget audits possible. ``fingerprint`` carries
+    the scenario fingerprint for charges issued by the batch layer, and
+    a refund's ``charge_seq`` names the ledger line it undoes.
+    """
+
+    seq: int
+    kind: str  # "charge" | "refund" | "replenish"
+    label: str
+    epsilon: float
+    period: int
+    fingerprint: Optional[str] = None
+    charge_seq: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "label": self.label,
+            "epsilon": self.epsilon,
+            "period": self.period,
+            "fingerprint": self.fingerprint,
+            "charge_seq": self.charge_seq,
+        }
+
+
+@dataclass
+class LedgerReconciliation:
+    """Result of replaying the ledger against the live books.
+
+    The invariant (documented in DESIGN.md "Observability"): replaying
+    charges minus refunds in ledger order reproduces
+    :attr:`PrivacyAccountant.spent` *exactly* — bit-for-bit, not within a
+    tolerance — because refunds remove the earliest matching charge on
+    both sides, so the surviving charges are summed in the same order.
+    """
+
+    ok: bool
+    ledger_spent: float
+    accounted_spent: float
+    outstanding: int
+    issues: List[str] = field(default_factory=list)
+
+
 @dataclass
 class PrivacyAccountant:
     """Sequential-composition accountant with periodic replenishment.
@@ -99,6 +152,10 @@ class PrivacyAccountant:
     epsilon_max: float = DEFAULT_EPSILON_MAX
     charges: List[BudgetCharge] = field(default_factory=list)
     period: int = 0
+    #: Append-only audit trail of every charge/refund/replenish, in
+    #: order. ``charges`` above is the *live* state (refunds edit it);
+    #: the ledger never forgets — see :meth:`reconcile`.
+    ledger: List[LedgerEntry] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.epsilon_max <= 0:
@@ -116,8 +173,14 @@ class PrivacyAccountant:
     def can_afford(self, epsilon: float) -> bool:
         return epsilon <= self.remaining + 1e-12
 
-    def charge(self, epsilon: float, label: str = "query") -> BudgetCharge:
-        """Record a draw of ``epsilon``; raise if the budget would overrun."""
+    def charge(
+        self, epsilon: float, label: str = "query", fingerprint: Optional[str] = None
+    ) -> BudgetCharge:
+        """Record a draw of ``epsilon``; raise if the budget would overrun.
+
+        ``fingerprint`` (optional) ties the ledger line to a scenario
+        fingerprint so audits can answer "which run spent this".
+        """
         if epsilon < 0:
             raise SensitivityError("cannot charge a negative epsilon")
         if not self.can_afford(epsilon):
@@ -127,6 +190,16 @@ class PrivacyAccountant:
             )
         charge = BudgetCharge(label=label, epsilon=epsilon, period=self.period)
         self.charges.append(charge)
+        self.ledger.append(
+            LedgerEntry(
+                seq=len(self.ledger),
+                kind="charge",
+                label=label,
+                epsilon=epsilon,
+                period=self.period,
+                fingerprint=fingerprint,
+            )
+        )
         return charge
 
     def refund(self, charge: BudgetCharge) -> None:
@@ -145,10 +218,100 @@ class PrivacyAccountant:
                 f"cannot refund unknown charge {charge.label!r} "
                 f"(epsilon {charge.epsilon:.4g}); was it already refunded?"
             ) from None
+        # Mirror ``list.remove``'s first-equal-match on the ledger: the
+        # refund points at the earliest charge line with the same
+        # (label, epsilon, period) that no prior refund already undid, so
+        # replaying the ledger edits the same slot the live books did.
+        undone = {e.charge_seq for e in self.ledger if e.kind == "refund"}
+        target = next(
+            (
+                e
+                for e in self.ledger
+                if e.kind == "charge"
+                and e.seq not in undone
+                and (e.label, e.epsilon, e.period)
+                == (charge.label, charge.epsilon, charge.period)
+            ),
+            None,
+        )
+        self.ledger.append(
+            LedgerEntry(
+                seq=len(self.ledger),
+                kind="refund",
+                label=charge.label,
+                epsilon=charge.epsilon,
+                period=charge.period,
+                fingerprint=target.fingerprint if target is not None else None,
+                charge_seq=target.seq if target is not None else None,
+            )
+        )
 
     def replenish(self) -> None:
         """Start a new budget period (e.g. a new disclosure year)."""
         self.period += 1
+        self.ledger.append(
+            LedgerEntry(
+                seq=len(self.ledger),
+                kind="replenish",
+                label="replenish",
+                epsilon=0.0,
+                period=self.period,
+            )
+        )
+
+    def reconcile(self) -> LedgerReconciliation:
+        """Replay the ledger and check it reproduces the live books exactly.
+
+        Returns a :class:`LedgerReconciliation`; ``ok`` is True iff every
+        refund points at a real outstanding charge and the surviving
+        charges match :attr:`charges` one-for-one in order — which makes
+        the replayed spend equal :attr:`spent` bit-for-bit (identical
+        summands, identical order).
+        """
+        issues: List[str] = []
+        outstanding: List[LedgerEntry] = []
+        for entry in self.ledger:
+            if entry.kind == "charge":
+                outstanding.append(entry)
+            elif entry.kind == "refund":
+                if entry.charge_seq is None:
+                    issues.append(
+                        f"ledger seq {entry.seq}: refund of {entry.label!r} "
+                        "matches no outstanding charge"
+                    )
+                    continue
+                match = next(
+                    (e for e in outstanding if e.seq == entry.charge_seq), None
+                )
+                if match is None:
+                    issues.append(
+                        f"ledger seq {entry.seq}: refund points at charge "
+                        f"seq {entry.charge_seq} which is not outstanding"
+                    )
+                    continue
+                outstanding.remove(match)
+        live = [(c.label, c.epsilon, c.period) for c in self.charges]
+        replayed = [(e.label, e.epsilon, e.period) for e in outstanding]
+        if live != replayed:
+            issues.append(
+                f"ledger replay yields {len(replayed)} outstanding charge(s) "
+                f"but the live books hold {len(live)}"
+            )
+        ledger_spent = sum(
+            e.epsilon for e in outstanding if e.period == self.period
+        )
+        accounted = self.spent
+        if not issues and ledger_spent != accounted:
+            issues.append(
+                f"ledger spend {ledger_spent!r} != accounted spend {accounted!r}"
+            )
+        return LedgerReconciliation(
+            ok=not issues,
+            ledger_spent=ledger_spent,
+            accounted_spent=accounted,
+            outstanding=len(outstanding),
+            issues=issues,
+        )
 
     def queries_per_period(self, epsilon_per_query: float) -> int:
         """How many identical releases fit in one period — the paper's

@@ -15,11 +15,11 @@ matrix is private, as the paper notes.)
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.crypto.rng import DeterministicRNG
+from repro.obs.clock import now as clock_now
 from repro.exceptions import ConfigurationError
 from repro.mpc.circuit import Circuit
 from repro.mpc.fixedpoint import FixedPointBuilder, FixedPointFormat
@@ -70,9 +70,9 @@ def measure_matmul_seconds(
     for name, wires in circuit.input_buses.items():
         value = fmt.to_unsigned(fmt.encode(rng.random()))
         shares[name] = engine.share_input(value, len(wires), rng)
-    started = time.perf_counter()
+    started = clock_now()
     engine.evaluate(circuit, shares, rng)
-    elapsed = time.perf_counter() - started
+    elapsed = clock_now() - started
     return elapsed, circuit.stats().and_gates
 
 

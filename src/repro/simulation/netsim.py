@@ -18,6 +18,7 @@ __all__ = [
     "PhaseTimer",
     "WanProjection",
     "WanValidation",
+    "meter_from_rounds",
     "project_wan_seconds",
     "validate_wan_projection",
 ]
@@ -110,6 +111,26 @@ class TrafficMeter:
             "total_exponentiations": sum(s.exponentiations for s in self._stats.values()),
             "total_ot_transfers": sum(s.ot_transfers for s in self._stats.values()),
         }
+
+
+def meter_from_rounds(graph, iterations: int, message_bytes: float) -> TrafficMeter:
+    """Synthesize the per-link meter of a round-synchronous run.
+
+    The in-memory bus doesn't meter (nothing crosses a wire), which left
+    ``RunResult.traffic`` empty for plaintext/sharded/async runs unless a
+    :class:`SimulatedWanTransport` happened to be attached. But the byte
+    profile of a round-synchronous protocol is straight arithmetic — every
+    directed edge carries exactly one fixed-point message per routed
+    round — so this reconstructs byte-for-byte what the WAN transport's
+    meter would have recorded: ``message_bytes * iterations`` on each
+    directed link of ``graph.edges()`` (the transport meters *all* edges
+    each round, empty outboxes included, because a silent edge still
+    transmits framing in the deployment model).
+    """
+    meter = TrafficMeter()
+    for src, dst in graph.edges():
+        meter.record_send(src, dst, message_bytes * iterations)
+    return meter
 
 
 @dataclass(frozen=True)

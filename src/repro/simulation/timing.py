@@ -13,11 +13,11 @@ per-exponentiation costs on 2014 EC2 hardware) next to ours.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.group import CyclicGroup, default_group
+from repro.obs.clock import now as clock_now
 from repro.crypto.rng import DeterministicRNG
 from repro.mpc.builder import CircuitBuilder
 from repro.mpc.gmw import GMWEngine
@@ -86,18 +86,18 @@ def measure_cost_constants(
         "a": engine.share_input(rng.randbits(sample_and_gates), sample_and_gates, rng),
         "b": engine.share_input(rng.randbits(sample_and_gates), sample_and_gates, rng),
     }
-    started = time.perf_counter()
+    started = clock_now()
     result = engine.evaluate(circuit, shares, rng)
-    elapsed = time.perf_counter() - started
+    elapsed = clock_now() - started
     seconds_per_ot = elapsed / max(1, result.traffic.ot_count)
 
     # --- per-exponentiation cost ------------------------------------------
     base = group.generator
     exponents = [group.random_scalar(rng) for _ in range(32)]
-    started = time.perf_counter()
+    started = clock_now()
     for exponent in exponents:
         base = group.exp(base, exponent)
-    per_exp = (time.perf_counter() - started) / len(exponents)
+    per_exp = (clock_now() - started) / len(exponents)
 
     return CostConstants(
         seconds_per_ot=seconds_per_ot,

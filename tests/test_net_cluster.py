@@ -156,3 +156,59 @@ class TestHarnessContract:
     def test_cluster_run_rejects_bad_party_count(self):
         with pytest.raises(ConfigurationError, match="at least two"):
             run_scenario_cluster(_build, num_parties=0, timeout=10.0)
+
+
+class TestClusterTrace:
+    def test_traced_cluster_merges_timeline_and_reconciles_traffic(self, tmp_path):
+        """ISSUE 8 acceptance: a traced 3-process run produces a merged
+        timeline whose per-party round spans and per-link byte counters
+        reconcile exactly with the protocol TrafficMeter — with released
+        outputs bit-identical to the untraced reference run."""
+        import json
+
+        from repro.obs.merge import load_trace_shard
+
+        reference = _reference("secure")
+        trace_dir = tmp_path / "trace"
+        outcomes = run_scenario_cluster(
+            _build,
+            num_parties=3,
+            engine="secure-async",
+            iterations=ITERATIONS,
+            session="test-cluster-trace",
+            timeout=120.0,
+            trace_dir=str(trace_dir),
+        )
+        assert [o.status for o in outcomes] == ["ok", "ok", "ok"]
+        # tracing left the released outputs bit-identical
+        for outcome in outcomes:
+            assert outcome.summary["aggregate"] == reference.aggregate
+            assert outcome.summary["noise_raw"] == reference.noise_raw
+            assert outcome.summary["trajectory"] == reference.trajectory
+
+        timeline = json.loads((trace_dir / "timeline.json").read_text())
+        assert timeline["schema"] == "dstress.obs.timeline"
+        assert timeline["parties"] == [0, 1, 2]
+        # every party recorded every round (ITERATIONS + the final step),
+        # merged in causal (round, party) order
+        keys = [(e["round"], e["party"]) for e in timeline["entries"]]
+        assert keys == [
+            (r, p) for r in range(ITERATIONS + 1) for p in range(3)
+        ]
+
+        # per-link byte counters reconcile exactly with the TrafficMeter:
+        # replicated execution means each party's protocol meter equals
+        # the reference run's, and link bytes sum to the metered total
+        for outcome in outcomes:
+            shard = load_trace_shard(outcome.summary["trace_shard"])
+            traffic = shard["traffic"]
+            assert traffic["total_bytes_sent"] == reference.traffic.total_bytes_sent
+            link_sum = sum(nbytes for _, _, nbytes in traffic["links"])
+            assert link_sum == pytest.approx(traffic["total_bytes_sent"])
+            expected_links = {
+                (src, dst): nbytes
+                for (src, dst), nbytes in reference.traffic.links().items()
+            }
+            assert {
+                (src, dst): nbytes for src, dst, nbytes in traffic["links"]
+            } == expected_links
