@@ -300,13 +300,26 @@ def _resolve_cache(cache) -> Optional[ScenarioCacheBase]:
         return None
     if cache is True:
         return ScenarioCache()
+    if isinstance(cache, str) and cache.startswith("tcp://"):
+        # a fleet-shared cache tier endpoint; lazy import — the service
+        # layer imports the batch layer, not the other way around
+        from repro.service.cachetier import RemoteScenarioCache
+
+        rest = cache[len("tcp://"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ConfigurationError(
+                f"cache endpoint {cache!r} is not tcp://host:port"
+            )
+        return RemoteScenarioCache(host or "127.0.0.1", int(port))
     if isinstance(cache, (str, os.PathLike)):
         return PersistentScenarioCache(cache)
     if isinstance(cache, ScenarioCacheBase):
         return cache
     raise ConfigurationError(
-        f"cache must be a ScenarioCache, a cache-directory path, True, or "
-        f"None — got {type(cache).__name__}"
+        f"cache must be a ScenarioCache, a cache-directory path, a "
+        f"tcp://host:port cache-tier endpoint, True, or None — got "
+        f"{type(cache).__name__}"
     )
 
 

@@ -20,6 +20,16 @@ here so their interaction is governed in one place:
 * **One fork policy.** Everything uses the fork start method: payloads
   stay picklable-small, and engines inherit read-only program/graph state
   instead of re-importing it.
+* **No env leakage.** Fork inheritance copies the parent's environment
+  wholesale, so a worker would silently see whatever ``REPRO_*`` knobs
+  the *host* process happened to carry — ``REPRO_BENCH_SMOKE`` from a
+  benchmark harness, ``REPRO_TCP_*`` from a cluster launcher, anything a
+  server front-end was started under. Engine behavior must come from the
+  payload (config/transport instances), never from ambient host state,
+  so every pool worker is scrubbed of ``REPRO_*`` variables at
+  initialization; callers that *intend* to pass one through name it in
+  an explicit ``env_allowlist``. Inline execution (``workers == 1``)
+  runs in the caller's own process and is never scrubbed.
 """
 
 from __future__ import annotations
@@ -36,10 +46,44 @@ __all__ = [
     "cpu_budget",
     "in_worker_process",
     "plan_workers",
+    "scrub_repro_env",
     "create_pool",
     "map_in_pool",
     "iter_in_pool",
 ]
+
+#: Prefix of every environment knob this library reads. Worker processes
+#: are scrubbed of it so host env cannot steer forked engine runs.
+REPRO_ENV_PREFIX = "REPRO_"
+
+
+def scrub_repro_env(allowlist: Sequence[str] = ()) -> List[str]:
+    """Delete every ``REPRO_*`` variable from ``os.environ`` except those
+    named in ``allowlist``; returns the names removed (for audits/tests).
+
+    Called in freshly-forked workers (pool initializers, cluster
+    children) so an engine process starts from an explicit environment:
+    whatever the payload carries, plus only the allowlisted variables.
+    """
+    keep = set(allowlist)
+    removed = []
+    for key in list(os.environ):
+        if key.startswith(REPRO_ENV_PREFIX) and key not in keep:
+            del os.environ[key]
+            removed.append(key)
+    return removed
+
+
+def _scrubbing_initializer(
+    allowlist: Tuple[str, ...],
+    initializer: Optional[Callable[..., None]],
+    initargs: Tuple[Any, ...],
+) -> None:
+    """Worker bootstrap: scrub first, then the caller's initializer.
+    Module-level so it survives pickling under any start method."""
+    scrub_repro_env(allowlist)
+    if initializer is not None:
+        initializer(*initargs)
 
 
 def cpu_budget() -> int:
@@ -87,8 +131,14 @@ def create_pool(
     processes: int,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple[Any, ...] = (),
+    env_allowlist: Sequence[str] = (),
 ):
-    """A fork-context pool; the caller owns its lifetime (use ``with``)."""
+    """A fork-context pool; the caller owns its lifetime (use ``with``).
+
+    Every worker is scrubbed of ``REPRO_*`` environment variables before
+    the caller's ``initializer`` runs; name variables in
+    ``env_allowlist`` to let them through deliberately.
+    """
     if processes < 1:
         raise ConfigurationError("a pool needs at least one process")
     if in_worker_process():
@@ -97,24 +147,31 @@ def create_pool(
             "nested stage inline instead (see repro.api.pool docs)"
         )
     ctx = get_context("fork")
-    return ctx.Pool(processes=processes, initializer=initializer, initargs=initargs)
+    return ctx.Pool(
+        processes=processes,
+        initializer=_scrubbing_initializer,
+        initargs=(tuple(env_allowlist), initializer, initargs),
+    )
 
 
 def map_in_pool(
     fn: Callable[[Any], Any],
     payloads: Sequence[Any],
     workers: int,
+    env_allowlist: Sequence[str] = (),
 ) -> List[Any]:
     """Map ``fn`` over ``payloads`` preserving input order.
 
     ``workers == 1`` (or a single payload) runs inline — handy under
     debuggers, on platforms without fork, and inside pool workers where
-    forking again is forbidden.
+    forking again is forbidden. Forked workers are env-scrubbed (see
+    :func:`scrub_repro_env`); the inline path is not (it *is* the
+    caller's process).
     """
     items = list(payloads)
     if workers == 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with create_pool(min(workers, len(items))) as pool:
+    with create_pool(min(workers, len(items)), env_allowlist=env_allowlist) as pool:
         return pool.map(fn, items)
 
 
@@ -130,6 +187,7 @@ def iter_in_pool(
     fn: Callable[[Any], Any],
     payloads: Sequence[Any],
     workers: int,
+    env_allowlist: Sequence[str] = (),
 ):
     """Yield ``(input_index, fn(payload))`` pairs as workers finish.
 
@@ -153,7 +211,7 @@ def iter_in_pool(
 
         return _inline()
 
-    pool = create_pool(min(workers, len(items)))
+    pool = create_pool(min(workers, len(items)), env_allowlist=env_allowlist)
     # imap_unordered dispatches eagerly: workers start on the payloads now
     results = pool.imap_unordered(partial(_indexed_apply, fn), list(enumerate(items)))
 

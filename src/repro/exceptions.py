@@ -117,3 +117,46 @@ class PeerDisconnectedError(TransportError):
 class TransportTimeoutError(TransportError):
     """An I/O wait (round gather, handshake read, barrier) exceeded the
     configured timeout while the connection itself stayed up."""
+
+
+class ServiceError(DStressError):
+    """A failure in the long-running stress-test service layer
+    (:mod:`repro.service`).
+
+    **The service failure taxonomy**: every way a submitted scenario can
+    be refused or a service conversation can fail maps onto one of these
+    named classes (or :class:`PrivacyBudgetExceeded` for admission-control
+    refusals), and every refusal travels the wire as a *typed response* —
+    the server never answers a bad request with silence or a hang.
+
+    ============================  =========================================
+    failure mode                  raised class
+    ============================  =========================================
+    malformed / unwhitelisted AST :class:`ScenarioValidationError`
+    admission over budget         :class:`PrivacyBudgetExceeded`
+    bad request / response line   :class:`ServiceProtocolError`
+    server unreachable / died     :class:`ServiceUnavailableError`
+    engine failed server-side     :class:`ServiceError` (names the cause)
+    ============================  =========================================
+    """
+
+
+class ScenarioValidationError(ServiceError):
+    """A submitted scenario JSON document failed the strict whitelist
+    validation (:mod:`repro.service.scenario_ast`): unknown keys, an
+    unwhitelisted generator/engine/program/option, an out-of-bounds
+    parameter, or a value of the wrong type. Raised *before* anything is
+    built or charged — a rejected document never touches an engine or the
+    privacy accountant."""
+
+
+class ServiceProtocolError(ServiceError):
+    """A service conversation violated the JSON-lines protocol: a line
+    that is not valid JSON, not an object, missing/unknown ``op``, an
+    oversized line, or a response the client cannot interpret."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service (or the networked cache tier) could not be reached, or
+    the connection died mid-conversation. Client-side only — the sync
+    clients raise this instead of leaking raw ``OSError``/``EOFError``."""

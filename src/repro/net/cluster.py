@@ -29,8 +29,9 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from multiprocessing import get_context
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.api.pool import scrub_repro_env
 from repro.exceptions import ConfigurationError
 from repro.net.peer import PeerAddress
 from repro.net.transport import TcpTransport
@@ -89,6 +90,12 @@ class ClusterRun:
     #: and writes ``party-<id>.jsonl`` here after its run; the parent merges
     #: the shards into ``timeline.json`` (see :mod:`repro.obs.merge`).
     trace_dir: Optional[str] = None
+    #: ``REPRO_*`` environment variables the children may keep. Everything
+    #: else with that prefix is scrubbed at child startup: a forked party
+    #: must take its configuration from this :class:`ClusterRun` (the
+    #: mesh arrives over the pipe, not via ``REPRO_TCP_*``), never from
+    #: whatever harness/server environment the parent happened to run in.
+    env_allowlist: Tuple[str, ...] = ()
 
 
 def _result_summary(result) -> Dict[str, Any]:
@@ -105,6 +112,7 @@ def _result_summary(result) -> Dict[str, Any]:
 
 def _child_main(run: ClusterRun, party_id: int, conn) -> None:
     """One party: listen, report port, connect the mesh, run, report."""
+    scrub_repro_env(run.env_allowlist)
     transport: Optional[TcpTransport] = None
     try:
         transport = TcpTransport(
@@ -183,6 +191,7 @@ def run_scenario_cluster(
     timeout: float = 120.0,
     die_at_round: Optional[Dict[int, int]] = None,
     trace_dir: Optional[str] = None,
+    env_allowlist: Sequence[str] = (),
 ) -> List[ClusterOutcome]:
     """Run one scenario across ``num_parties`` real OS processes.
 
@@ -197,6 +206,11 @@ def run_scenario_cluster(
     JSONL shard into the directory; after all reports are in, the parent
     merges the shards into ``<trace_dir>/timeline.json`` (best effort —
     a partial cluster still merges whatever shards landed).
+
+    Children are scrubbed of ``REPRO_*`` environment variables at startup
+    (fork inheritance would otherwise hand every child whatever harness
+    or server knobs the parent ran under); pass ``env_allowlist`` to let
+    named variables through deliberately.
     """
     if num_parties < 2:
         raise ConfigurationError("a cluster needs at least two parties")
@@ -215,6 +229,7 @@ def run_scenario_cluster(
         timeout=timeout,
         die_at_round=dict(die_at_round or {}),
         trace_dir=trace_dir,
+        env_allowlist=tuple(env_allowlist),
     )
     ctx = get_context("fork")
     pipes = []

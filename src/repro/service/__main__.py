@@ -1,0 +1,143 @@
+"""``python -m repro.service`` — run a service or cache-tier replica.
+
+Prints ``LISTENING <port>`` on stdout once bound (port 0 picks a free
+port), so harnesses can scrape the actual endpoint; exits cleanly on a
+``shutdown`` op or SIGINT.
+
+Examples::
+
+    # a stress-test service with a fresh ln(2) budget and an in-memory
+    # release cache
+    python -m repro.service --port 7117
+
+    # a fleet: one shared cache tier, two service replicas behind it
+    python -m repro.service --role cache --cache-dir /tmp/releases &
+    python -m repro.service --cache tcp://127.0.0.1:7200 &
+    python -m repro.service --cache tcp://127.0.0.1:7200 &
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+from typing import Optional
+
+from repro.api.cache import ScenarioCache, ScenarioCacheBase
+from repro.api.diskcache import PersistentScenarioCache
+from repro.exceptions import ServiceProtocolError
+from repro.privacy.budget import PrivacyAccountant
+from repro.service.cachetier import CacheTierServer, RemoteScenarioCache
+from repro.service.server import StressTestService
+
+
+def _parse_endpoint(value: str) -> tuple:
+    text = value[len("tcp://"):] if value.startswith("tcp://") else value
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ServiceProtocolError(
+            f"cache endpoint {value!r} is not tcp://host:port"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def _build_cache(args: argparse.Namespace) -> Optional[ScenarioCacheBase]:
+    if args.cache:
+        host, port = _parse_endpoint(args.cache)
+        return RemoteScenarioCache(host, port)
+    if args.cache_dir:
+        return PersistentScenarioCache(args.cache_dir)
+    if args.no_cache:
+        return None
+    return ScenarioCache()
+
+
+async def _run_service(args: argparse.Namespace) -> int:
+    accountant = None
+    if args.budget > 0:
+        accountant = PrivacyAccountant(epsilon_max=args.budget)
+    service = StressTestService(
+        args.host,
+        args.port,
+        accountant=accountant,
+        cache=_build_cache(args),
+        max_workers=args.workers,
+    )
+    port = await service.start()
+    print(f"LISTENING {port}", flush=True)
+    await service.serve_until_closed()
+    return 0
+
+
+async def _run_cachetier(args: argparse.Namespace) -> int:
+    backing: ScenarioCacheBase
+    if args.cache_dir:
+        backing = PersistentScenarioCache(args.cache_dir)
+    else:
+        backing = ScenarioCache()
+    server = CacheTierServer(backing, args.host, args.port)
+    port = await server.start()
+    print(f"LISTENING {port}", flush=True)
+    await server.serve_until_closed()
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run a DStress stress-test service or cache-tier replica.",
+    )
+    parser.add_argument(
+        "--role",
+        choices=("service", "cache"),
+        default="service",
+        help="what to run: a scenario service (default) or a cache tier",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick a free port, announced on stdout)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=PrivacyAccountant().epsilon_max,
+        help="privacy budget epsilon_max (default ln 2; 0 disables admission)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="bound on concurrently-executing engine runs (default 2)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="back releases with a PersistentScenarioCache at this directory",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="tcp://HOST:PORT",
+        help="use a remote cache tier instead of a local cache (service role)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="run the service without any release cache",
+    )
+    args = parser.parse_args(argv)
+    runner = _run_cachetier if args.role == "cache" else _run_service
+    try:
+        return asyncio.run(runner(args))
+    except KeyboardInterrupt:
+        with contextlib.suppress(Exception):
+            print("interrupted, shutting down", file=sys.stderr)
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,328 @@
+"""The networked cache tier: fleet-shared release deduplication.
+
+A :class:`CacheTierServer` fronts any
+:class:`~repro.api.cache.ScenarioCacheBase` (typically the on-disk
+:class:`~repro.api.diskcache.PersistentScenarioCache`) over the same
+JSON-lines protocol the service speaks, and
+:class:`RemoteScenarioCache` is the matching client-side
+:class:`~repro.api.cache.ScenarioCacheBase` adapter — plug it into a
+:class:`~repro.service.server.StressTestService`, ``run_batch``, or a
+session, and a *fleet* of replicas shares one release store keyed by
+notarized fingerprint: the first replica to release a scenario pays the
+engine run and the epsilon; every other replica answers from the tier.
+
+Results cross the wire as base64-pickled :class:`RunResult` payloads —
+the **same trust model as the disk cache** (DESIGN.md "Persistent
+scenario cache"): the bytes are as trusted as the code on both ends of
+the connection, which in this reproduction is always our own fleet.
+
+Failure semantics follow the cache's prime directive — *only err toward
+miss*. By default the remote cache is **tolerant**: an unreachable or
+crashed tier turns every lookup into a miss and every store into a
+no-op (the replica recomputes; correctness is untouched, only dedup is
+lost). ``strict=True`` converts those faults into
+:class:`~repro.exceptions.ServiceUnavailableError` for deployments that
+would rather fail loudly than quietly forfeit deduplication.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import json
+import pickle
+from typing import Any, Dict, Optional
+
+from repro.api.cache import ScenarioCacheBase
+from repro.api.result import RunResult
+from repro.exceptions import ServiceError, ServiceUnavailableError
+from repro.obs.trace import current_recorder
+from repro.service.client import ServiceClient
+from repro.service.server import SERVICE_PROTOCOL_VERSION
+
+__all__ = ["CacheTierServer", "RemoteScenarioCache"]
+
+_MAX_LINE_BYTES = 64 * 1024 * 1024  # pickled trajectories are chunky
+
+
+def _encode_result(result: RunResult) -> Optional[str]:
+    try:
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
+    return base64.b64encode(payload).decode("ascii")
+
+
+def _decode_result(text: str) -> Optional[RunResult]:
+    try:
+        result = pickle.loads(base64.b64decode(text.encode("ascii")))
+    except (Exception, binascii.Error):
+        return None
+    return result if isinstance(result, RunResult) else None
+
+
+class CacheTierServer:
+    """Serve one :class:`ScenarioCacheBase` to the fleet.
+
+    Ops: ``ping``, ``lookup`` (fingerprint → payload or miss), ``store``
+    (fingerprint + payload), ``stats``, ``clear``, ``shutdown``. Every
+    response is a typed JSON line; a malformed request gets an error
+    line, never silence.
+    """
+
+    def __init__(
+        self,
+        backing: ScenarioCacheBase,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_line_bytes: int = _MAX_LINE_BYTES,
+        name: str = "dstress-cachetier",
+    ) -> None:
+        self.backing = backing
+        self.host = host
+        self.port = port
+        self.name = name
+        self.max_line_bytes = max_line_bytes
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._closed = asyncio.Event()
+        self._connections: "set[asyncio.Task[None]]" = set()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "lookups": 0,
+            "hits": 0,
+            "stores": 0,
+            "malformed": 0,
+        }
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=self.max_line_bytes,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_until_closed(self) -> None:
+        await self._closed.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    async def close(self) -> None:
+        self._closed.set()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.counters["malformed"] += 1
+                    await self._send(
+                        writer,
+                        self._error(
+                            f"request line exceeds {self.max_line_bytes} bytes"
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                response = self._dispatch_line(line)
+                await self._send(writer, response)
+                if response.get("op") == "shutdown":
+                    self._closed.set()
+                    break
+        except asyncio.CancelledError:
+            pass  # deliberate shutdown cancellation: close quietly
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, body: Dict[str, Any]) -> None:
+        writer.write(json.dumps(body, allow_nan=False).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    def _ok(self, **fields: Any) -> Dict[str, Any]:
+        body = {"ok": True, "version": SERVICE_PROTOCOL_VERSION}
+        body.update(fields)
+        return body
+
+    def _error(self, message: str) -> Dict[str, Any]:
+        return {
+            "ok": False,
+            "version": SERVICE_PROTOCOL_VERSION,
+            "status": "error",
+            "error": "ServiceProtocolError",
+            "message": message,
+        }
+
+    def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        self.counters["requests"] += 1
+        try:
+            request = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.counters["malformed"] += 1
+            return self._error(f"request is not valid JSON: {exc}")
+        if not isinstance(request, dict) or not isinstance(request.get("op"), str):
+            self.counters["malformed"] += 1
+            return self._error("request must be an object with a string 'op'")
+        op = request["op"]
+        if op == "ping":
+            return self._ok(op="ping", server=self.name)
+        if op == "stats":
+            return self._ok(
+                op="stats",
+                counters=dict(self.counters),
+                entries=len(self.backing),
+                hits=self.backing.hits,
+                misses=self.backing.misses,
+            )
+        if op == "shutdown":
+            return self._ok(op="shutdown")
+        if op == "clear":
+            self.backing.clear()
+            return self._ok(op="clear")
+        if op == "lookup":
+            return self._lookup(request)
+        if op == "store":
+            return self._store(request)
+        self.counters["malformed"] += 1
+        return self._error(
+            f"unknown op {op!r}; supported: ping, lookup, store, stats, "
+            "clear, shutdown"
+        )
+
+    def _fingerprint_of(self, request: Dict[str, Any]) -> Optional[str]:
+        fingerprint = request.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            return None
+        return fingerprint
+
+    def _lookup(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        fingerprint = self._fingerprint_of(request)
+        if fingerprint is None:
+            self.counters["malformed"] += 1
+            return self._error("lookup requires a non-empty string 'fingerprint'")
+        self.counters["lookups"] += 1
+        with current_recorder().span("cachetier.lookup", fingerprint=fingerprint[:16]):
+            result = self.backing.lookup(fingerprint)
+        if result is None:
+            return self._ok(op="lookup", hit=False)
+        payload = _encode_result(result)
+        if payload is None:
+            # unpicklable entry: err toward miss, never a broken payload
+            return self._ok(op="lookup", hit=False)
+        self.counters["hits"] += 1
+        return self._ok(op="lookup", hit=True, payload=payload)
+
+    def _store(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        fingerprint = self._fingerprint_of(request)
+        payload = request.get("payload")
+        if fingerprint is None or not isinstance(payload, str):
+            self.counters["malformed"] += 1
+            return self._error(
+                "store requires a non-empty string 'fingerprint' and a "
+                "string 'payload'"
+            )
+        result = _decode_result(payload)
+        if result is None:
+            self.counters["malformed"] += 1
+            return self._error("store payload does not decode to a RunResult")
+        self.counters["stores"] += 1
+        with current_recorder().span("cachetier.store", fingerprint=fingerprint[:16]):
+            self.backing.store(fingerprint, result)
+        return self._ok(op="store", stored=True)
+
+
+class RemoteScenarioCache(ScenarioCacheBase):
+    """A :class:`ScenarioCacheBase` whose storage lives across a socket.
+
+    Drop-in anywhere a cache is accepted — ``run_batch(cache=...)``
+    (including the ``"tcp://host:port"`` shorthand), a
+    :class:`~repro.service.server.StressTestService`, or a session.
+    Entries arrive already isolated (they were pickled on the wire), so
+    no extra copy is made.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float = 30.0,
+        strict: bool = False,
+    ) -> None:
+        super().__init__()
+        self.strict = strict
+        self._client = ServiceClient(
+            host, port, timeout=timeout, max_line_bytes=_MAX_LINE_BYTES
+        )
+
+    # ----------------------------------------------------------- plumbing --
+
+    @property
+    def endpoint(self) -> str:
+        return f"tcp://{self._client.host}:{self._client.port}"
+
+    def close(self) -> None:
+        self._client.close()
+
+    def _call(self, body: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """One request; tolerant mode maps any fault to ``None`` (miss)."""
+        try:
+            response = self._client.request(body)
+            response.raise_for_status()
+            return response.body
+        except ServiceError:
+            if self.strict:
+                raise
+            return None
+
+    # ------------------------------------------------------ cache protocol --
+
+    def _fetch(self, fingerprint: str) -> Optional[RunResult]:
+        body = self._call({"op": "lookup", "fingerprint": fingerprint})
+        if body is None or not body.get("hit"):
+            return None
+        payload = body.get("payload")
+        if not isinstance(payload, str):
+            return None
+        return _decode_result(payload)
+
+    def _persist(self, fingerprint: str, result: RunResult) -> None:
+        payload = _encode_result(result)
+        if payload is None:
+            return
+        self._call({"op": "store", "fingerprint": fingerprint, "payload": payload})
+
+    def clear(self) -> None:
+        body = self._call({"op": "clear"})
+        if body is None and self.strict:  # pragma: no cover - strict raises above
+            raise ServiceUnavailableError(f"cache tier {self.endpoint} unreachable")
+
+    def __len__(self) -> int:
+        body = self._call({"op": "stats"})
+        if body is None:
+            return 0
+        entries = body.get("entries")
+        return int(entries) if isinstance(entries, int) else 0

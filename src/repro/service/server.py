@@ -1,0 +1,413 @@
+""":class:`StressTestService` — the long-running stress-test server.
+
+One asyncio TCP server speaking newline-delimited JSON (one request
+object per line, one response object per line — the service sibling of
+the :mod:`repro.net.wire` length-prefix rule: the receiver always knows
+where a message ends, so garbage is rejected at the line, never by
+wandering into the stream). Ops: ``ping``, ``submit``, ``stats``,
+``shutdown``.
+
+A ``submit`` carries a scenario document (see
+:mod:`repro.service.scenario_ast`) and walks four gates, all on the
+event-loop thread so their composition is atomic with respect to every
+other in-flight request:
+
+1. **Notarize.** Whitelist-validate, canonicalize, resolve, fingerprint.
+   A malformed or unwhitelisted document gets a typed ``rejected``
+   response before anything is built further or charged.
+2. **Single-flight.** If an identical scenario (same notarized
+   fingerprint) is already executing, this request *joins* it: no second
+   engine run, no second charge — N concurrent identical requests cost
+   one run and one epsilon, and all N get bit-identical responses.
+3. **Cache.** A fingerprint already released (this replica's cache, or
+   the fleet-shared :class:`~repro.service.cachetier.RemoteScenarioCache`
+   tier) is answered from the cache with zero compute and zero charge —
+   re-publishing an already-released value consumes no fresh privacy.
+4. **Admission.** A releasing scenario atomically pre-charges the shared
+   :class:`~repro.privacy.budget.PrivacyAccountant` *before* it is
+   scheduled (the PR-5 pre-charge/refund machinery: `charge` either
+   records the draw or raises, there is no check-then-charge gap).
+   Over budget ⇒ typed ``over-budget`` response, books untouched. A run
+   that subsequently *fails* refunds its pre-charge — nothing was
+   released, so nothing was spent — and answers with a typed ``error``.
+
+Execution happens on a bounded worker pool (a ``ThreadPoolExecutor`` of
+``max_workers`` threads; engines are synchronous and their intra-run
+process pools are env-scrubbed, see :mod:`repro.api.pool`). Every
+response is typed from the :class:`~repro.exceptions.ServiceError`
+taxonomy — rejected / over-budget / malformed / failed — **never a
+hang**: any exception a handler can raise is mapped onto a response
+line, and a connection that sends garbage gets an error line, not
+silence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional
+
+from repro.api.cache import ScenarioCacheBase
+from repro.api.session import execute_resolved
+from repro.exceptions import (
+    DStressError,
+    PrivacyBudgetExceeded,
+    ScenarioValidationError,
+    ServiceProtocolError,
+)
+from repro.obs.trace import current_recorder
+from repro.privacy.budget import PrivacyAccountant
+from repro.service.scenario_ast import NotarizedScenario, notarize
+
+__all__ = ["StressTestService", "SERVICE_PROTOCOL_VERSION", "result_payload"]
+
+#: Version stamped into every response; clients refuse a mismatch.
+SERVICE_PROTOCOL_VERSION = 1
+
+#: Longest request line the server will read (the JSON-lines analogue of
+#: the wire layer's frame cap: refused before allocation balloons).
+DEFAULT_MAX_LINE_BYTES = 1024 * 1024
+
+
+def result_payload(result: Any) -> Dict[str, Any]:
+    """The JSON-safe, bit-comparable essence of a released run result.
+
+    Floats survive JSON round-trips exactly (``repr``-based encoding), so
+    two payloads comparing equal means the underlying releases are
+    bit-identical — the same contract :func:`repro.net.cluster` uses for
+    cluster summaries.
+    """
+    return {
+        "engine": result.engine,
+        "program": result.program,
+        "aggregate": result.aggregate,
+        "pre_noise_aggregate": result.pre_noise_aggregate,
+        "noise_raw": result.noise_raw,
+        "trajectory": list(result.trajectory),
+        "iterations": result.iterations,
+        "epsilon": result.epsilon,
+        "extras": {k: v for k, v in result.extras.items()},
+    }
+
+
+class StressTestService:
+    """The standing service: submit notarized scenarios, get releases.
+
+    Parameters
+    ----------
+    accountant:
+        The shared privacy budget every admitted release draws from.
+        ``None`` runs without admission control (demo/plaintext fleets).
+    cache:
+        A :class:`~repro.api.cache.ScenarioCacheBase` fronting released
+        results — the in-memory cache, the on-disk
+        :class:`~repro.api.diskcache.PersistentScenarioCache`, or the
+        fleet-shared :class:`~repro.service.cachetier.RemoteScenarioCache`.
+    max_workers:
+        Bound on concurrently-executing engine runs. Further admitted
+        requests queue on the executor (admission happens first, so the
+        budget semantics are unaffected by queueing order).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        accountant: Optional[PrivacyAccountant] = None,
+        cache: Optional[ScenarioCacheBase] = None,
+        max_workers: int = 2,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        name: str = "dstress-service",
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceProtocolError("max_workers must be at least 1")
+        self.host = host
+        self.port = port
+        self.name = name
+        self.accountant = accountant
+        self.cache = cache
+        self.max_line_bytes = max_line_bytes
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=f"{name}-worker"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._closed = asyncio.Event()
+        #: fingerprint -> future resolving to the shared response body;
+        #: the single-flight table.
+        self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        #: open connection handlers, cancelled at shutdown so a client
+        #: holding its connection open cannot orphan a task.
+        self._connections: "set[asyncio.Task[None]]" = set()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "admitted": 0,
+            "rejected": 0,
+            "over_budget": 0,
+            "deduped": 0,
+            "cache_hits": 0,
+            "engine_runs": 0,
+            "failed": 0,
+            "malformed": 0,
+        }
+
+    # ---------------------------------------------------------- lifecycle --
+
+    async def start(self) -> int:
+        """Bind and start serving; returns the actually-bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=self.max_line_bytes,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def serve_until_closed(self) -> None:
+        """Block until :meth:`close` (or a ``shutdown`` op) is called."""
+        await self._closed.wait()
+        await self._shutdown()
+
+    async def close(self) -> None:
+        self._closed.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # let in-flight runs finish: their futures answer joined waiters
+        pending = [f for f in self._inflight.values() if not f.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    # --------------------------------------------------------- connection --
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.counters["malformed"] += 1
+                    await self._send(
+                        writer,
+                        self._error_body(
+                            "ServiceProtocolError",
+                            f"request line exceeds {self.max_line_bytes} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                response = await self._dispatch_line(line)
+                await self._send(writer, response)
+                if response.get("op") == "shutdown":
+                    self._closed.set()
+                    break
+        except asyncio.CancelledError:
+            pass  # deliberate shutdown cancellation: close quietly
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, body: Dict[str, Any]) -> None:
+        writer.write(json.dumps(body, allow_nan=False).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    def _error_body(
+        self, error: str, message: str, status: str = "error"
+    ) -> Dict[str, Any]:
+        return {
+            "ok": False,
+            "version": SERVICE_PROTOCOL_VERSION,
+            "status": status,
+            "error": error,
+            "message": message,
+        }
+
+    async def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        self.counters["requests"] += 1
+        try:
+            request = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.counters["malformed"] += 1
+            return self._error_body(
+                "ServiceProtocolError", f"request is not valid JSON: {exc}"
+            )
+        if not isinstance(request, dict) or not isinstance(request.get("op"), str):
+            self.counters["malformed"] += 1
+            return self._error_body(
+                "ServiceProtocolError", "request must be an object with a string 'op'"
+            )
+        op = request["op"]
+        recorder = current_recorder()
+        with recorder.span("service.request", op=op):
+            if op == "ping":
+                return self._ok(op="ping", server=self.name)
+            if op == "stats":
+                return self._stats_body()
+            if op == "shutdown":
+                return self._ok(op="shutdown")
+            if op == "submit":
+                return await self._submit(request.get("scenario"))
+        self.counters["malformed"] += 1
+        return self._error_body(
+            "ServiceProtocolError",
+            f"unknown op {op!r}; supported: ping, stats, submit, shutdown",
+        )
+
+    def _ok(self, **fields: Any) -> Dict[str, Any]:
+        body = {"ok": True, "version": SERVICE_PROTOCOL_VERSION}
+        body.update(fields)
+        return body
+
+    def _stats_body(self) -> Dict[str, Any]:
+        body = self._ok(op="stats", counters=dict(self.counters))
+        if self.accountant is not None:
+            body["budget"] = {
+                "epsilon_max": self.accountant.epsilon_max,
+                "spent": self.accountant.spent,
+                "remaining": self.accountant.remaining,
+                "period": self.accountant.period,
+            }
+        if self.cache is not None:
+            body["cache"] = {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+            }
+        body["inflight"] = len(self._inflight)
+        return body
+
+    # ------------------------------------------------------------- submit --
+
+    async def _submit(self, doc: Any) -> Dict[str, Any]:
+        metrics = current_recorder().metrics if current_recorder().enabled else None
+        # Gate 1: notarize. Bounded by the whitelist caps, so validation
+        # on the loop thread cannot be weaponized into a stall.
+        try:
+            notarized = notarize(doc)
+        except ScenarioValidationError as exc:
+            self.counters["rejected"] += 1
+            if metrics is not None:
+                metrics.inc("service.rejected")
+            return self._error_body(
+                "ScenarioValidationError", str(exc), status="rejected"
+            )
+
+        # Gate 2: single-flight. Everything from here to the future being
+        # installed runs without an await, so two identical requests can
+        # never both reach the charge.
+        existing = self._inflight.get(notarized.fingerprint)
+        if existing is not None:
+            self.counters["deduped"] += 1
+            if metrics is not None:
+                metrics.inc("service.deduped")
+            body = dict(await asyncio.shield(existing))
+            body["deduped"] = True
+            return body
+
+        # Gate 3: the released-results cache (replica-local or fleet tier).
+        if self.cache is not None:
+            prior = self.cache.lookup(notarized.fingerprint)
+            if prior is not None:
+                self.counters["cache_hits"] += 1
+                if metrics is not None:
+                    metrics.inc("service.cache_hits")
+                return self._release_body(notarized, prior, cached=True)
+
+        # Gate 4: admission — atomic pre-charge before scheduling.
+        charge = None
+        if self.accountant is not None and notarized.releases:
+            try:
+                charge = self.accountant.charge(
+                    notarized.epsilon,
+                    label=notarized.name,
+                    fingerprint=notarized.fingerprint,
+                )
+            except PrivacyBudgetExceeded as exc:
+                self.counters["over_budget"] += 1
+                if metrics is not None:
+                    metrics.inc("service.over_budget")
+                return self._error_body(
+                    "PrivacyBudgetExceeded", str(exc), status="over-budget"
+                )
+        self.counters["admitted"] += 1
+        if metrics is not None:
+            metrics.inc("service.admitted")
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        self._inflight[notarized.fingerprint] = future
+        try:
+            body = await self._execute(notarized, charge)
+            future.set_result(body)
+        except BaseException as exc:  # pragma: no cover - defensive re-raise
+            future.set_exception(exc)
+            future.exception()  # consumed: joined waiters re-raise their own
+            raise
+        finally:
+            self._inflight.pop(notarized.fingerprint, None)
+        return body
+
+    async def _execute(
+        self, notarized: NotarizedScenario, charge: Any
+    ) -> Dict[str, Any]:
+        """Run the engine on the worker pool; store or refund afterwards."""
+        metrics = current_recorder().metrics if current_recorder().enabled else None
+        loop = asyncio.get_running_loop()
+        self.counters["engine_runs"] += 1
+        try:
+            result = await loop.run_in_executor(
+                self._executor,
+                lambda: execute_resolved(notarized.resolved, accountant=None),
+            )
+        except DStressError as exc:
+            self.counters["failed"] += 1
+            if metrics is not None:
+                metrics.inc("service.failed")
+            if charge is not None:
+                # the release never happened: the pre-charge goes back
+                self.accountant.refund(charge)
+            return self._error_body(type(exc).__name__, str(exc))
+        except Exception as exc:  # defensive: report, never hang the waiters
+            self.counters["failed"] += 1
+            if charge is not None:
+                self.accountant.refund(charge)
+            return self._error_body("ServiceError", f"engine crashed: {exc}")
+        if self.cache is not None:
+            self.cache.store(notarized.fingerprint, result)
+        return self._release_body(notarized, result, cached=False)
+
+    def _release_body(
+        self, notarized: NotarizedScenario, result: Any, cached: bool
+    ) -> Dict[str, Any]:
+        return self._ok(
+            op="submit",
+            status="released",
+            name=notarized.name,
+            fingerprint=notarized.fingerprint,
+            digest=notarized.digest,
+            cached=cached,
+            deduped=False,
+            epsilon_charged=0.0 if cached else notarized.epsilon,
+            result=result_payload(result),
+        )

@@ -1,0 +1,171 @@
+"""The networked cache tier: fleet-shared dedup, tolerant failure mode.
+
+A fleet of service replicas in front of one tier must pay exactly one
+engine run and one epsilon charge for the year's standard scenario —
+and a dead tier must only ever cost recomputation, never correctness.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import StressTest
+from repro.api.batch import Scenario, _resolve_cache, run_batch
+from repro.api.cache import ScenarioCache
+from repro.exceptions import ConfigurationError, ServiceUnavailableError
+from repro.finance import Bank, FinancialNetwork
+from repro.privacy.budget import PrivacyAccountant
+from repro.service import (
+    CacheTierServer,
+    RemoteScenarioCache,
+    ServiceClient,
+    StressTestService,
+)
+from tests.test_service_server import ServiceHarness, make_doc
+
+
+class TierHarness:
+    """Run one CacheTierServer on a background event-loop thread."""
+
+    def __init__(self, backing=None):
+        self.backing = backing if backing is not None else ScenarioCache()
+        self.server = CacheTierServer(self.backing)
+        self.port = None
+        self._thread = None
+
+    def __enter__(self):
+        started = threading.Event()
+
+        def runner():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+
+            async def main():
+                self.port = await self.server.start()
+                started.set()
+                await self.server.serve_until_closed()
+
+            loop.run_until_complete(main())
+            loop.close()
+
+        self._thread = threading.Thread(target=runner, daemon=True)
+        self._thread.start()
+        assert started.wait(10), "cache tier failed to start"
+        return self
+
+    def __exit__(self, *exc_info):
+        try:
+            with ServiceClient("127.0.0.1", self.port) as c:
+                c.shutdown()
+        except Exception:
+            pass
+        self._thread.join(15)
+        assert not self._thread.is_alive(), "cache tier thread failed to stop"
+
+
+def _network():
+    net = FinancialNetwork()
+    net.add_bank(Bank(0, cash=2.0))
+    net.add_bank(Bank(1, cash=1.0))
+    net.add_bank(Bank(2, cash=0.5))
+    net.add_debt(0, 1, 2.0)
+    net.add_debt(1, 2, 1.0)
+    return net
+
+
+def _template():
+    return StressTest(_network()).program("eisenberg-noe").preset("demo")
+
+
+class TestRoundTrip:
+    def test_store_then_lookup_through_the_wire(self):
+        direct = _template().engine("secure").run(iterations=2)
+        with TierHarness() as tier:
+            remote = RemoteScenarioCache("127.0.0.1", tier.port)
+            assert remote.lookup("fp-1") is None
+            remote.store("fp-1", direct)
+            fetched = remote.lookup("fp-1")
+            assert fetched is not None
+            assert fetched.aggregate == direct.aggregate
+            assert fetched.trajectory == direct.trajectory
+            assert len(remote) == 1
+            remote.clear()
+            assert len(remote) == 0
+            remote.close()
+
+    def test_entries_are_isolated_copies(self):
+        direct = _template().engine("secure").run(iterations=2)
+        with TierHarness() as tier:
+            remote = RemoteScenarioCache("127.0.0.1", tier.port)
+            remote.store("fp-iso", direct)
+            first = remote.lookup("fp-iso")
+            first.trajectory.append(123.0)
+            second = remote.lookup("fp-iso")
+            assert second.trajectory == direct.trajectory
+            remote.close()
+
+
+class TestTolerance:
+    def test_dead_tier_means_miss_not_error(self):
+        remote = RemoteScenarioCache("127.0.0.1", 1)  # nothing listens here
+        assert remote.lookup("fp") is None
+        direct = _template().engine("secure").run(iterations=2)
+        remote.store("fp", direct)  # swallowed: dedup lost, nothing broken
+        assert len(remote) == 0
+        remote.close()
+
+    def test_strict_tier_raises_unavailable(self):
+        remote = RemoteScenarioCache("127.0.0.1", 1, strict=True)
+        with pytest.raises(ServiceUnavailableError):
+            remote.lookup("fp")
+        remote.close()
+
+
+class TestBatchIntegration:
+    def test_tcp_shorthand_resolves_to_remote_cache(self):
+        cache = _resolve_cache("tcp://127.0.0.1:7117")
+        assert isinstance(cache, RemoteScenarioCache)
+        assert cache.endpoint == "tcp://127.0.0.1:7117"
+        cache.close()
+
+    def test_bad_tcp_shorthand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _resolve_cache("tcp://nowhere")
+
+    def test_run_batch_deduplicates_through_the_tier(self):
+        scenarios = [Scenario(name="s", engine="secure", iterations=2, seed=5)]
+        with TierHarness() as tier:
+            endpoint = f"tcp://127.0.0.1:{tier.port}"
+            first = run_batch(_template(), scenarios, cache=endpoint)
+            second = run_batch(_template(), scenarios, cache=endpoint)
+        assert first.outcomes[0].ok and second.outcomes[0].ok
+        assert not first.outcomes[0].cached
+        assert second.outcomes[0].cached
+        assert (
+            second.outcomes[0].result.aggregate == first.outcomes[0].result.aggregate
+        )
+
+
+class TestFleet:
+    def test_two_replicas_share_one_release(self):
+        acct = PrivacyAccountant()
+        doc = make_doc(name="fleet-scenario")
+        with TierHarness() as tier:
+            with ServiceHarness(
+                accountant=acct,
+                cache=RemoteScenarioCache("127.0.0.1", tier.port),
+            ) as replica_a, ServiceHarness(
+                accountant=acct,
+                cache=RemoteScenarioCache("127.0.0.1", tier.port),
+            ) as replica_b:
+                with replica_a.client() as c:
+                    first = c.submit(doc).raise_for_status()
+                with replica_b.client() as c:
+                    second = c.submit(doc).raise_for_status()
+                assert not first.cached and second.cached
+                assert first.result == second.result
+                assert replica_a.service.counters["engine_runs"] == 1
+                assert replica_b.service.counters["engine_runs"] == 0
+        assert acct.spent == pytest.approx(0.23), "the fleet charged once"
+        assert acct.reconcile().ok
