@@ -1,0 +1,152 @@
+"""Continual release: what a windowed schedule costs over one-shot.
+
+The lifecycle seam (``release="windowed"``) splits one run's round
+schedule into windows, each publishing its own noised value at a
+per-window epsilon — the continual-release half of the streaming item
+in ROADMAP.md. The seam's promise is that windowing is *bookkeeping*,
+not a different protocol: the rounds executed are the same rounds, so
+the only new cost is the per-window aggregate/noise/release tail. This
+benchmark puts numbers on that claim:
+
+* **overhead is the tail, not the rounds** — the same schedule run
+  one-shot versus split into windows, for the float-path reference
+  engine and the paper's secure engine. The wall-clock gap is the
+  per-window aggregation + noise draw + ledger entry; the table prints
+  it next to the per-stage timings so a regression in the seam itself
+  (rather than the engines) is visible.
+* **budget shape** — one-shot spends ``output_epsilon`` once; windowed
+  spends ``W x window_epsilon`` as W audit-ledger entries that must
+  reconcile bit-for-bit.
+
+Correctness rides along: the windowed run's pre-noise aggregate and
+trajectory must be bit-identical to the one-shot run's before its row
+is worth printing, and the accountant's ledger must reconcile.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI on every push) shrinks
+the schedule so the full windowed path — admission precharge, resumable
+windows, per-window ledger entries — runs in seconds on both supported
+Pythons. The timings are compute-bound (no WAN sleeps), so the timed
+case sits in BENCH_BASELINE.json's ``volatile`` list: the correctness
+assertions are the gate, not the mean.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import Bank, FinancialNetwork, PrivacyAccountant, StressTest
+from tables import emit_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ITERATIONS = 4 if SMOKE else 6
+WINDOWS = [2, 2] if SMOKE else [2, 2, 2]
+WINDOW_EPSILON = 0.1
+ENGINES = ("plaintext", "secure") if SMOKE else ("plaintext", "async", "secure")
+
+
+def _network() -> FinancialNetwork:
+    network = FinancialNetwork()
+    network.add_bank(Bank(0, cash=2.0))
+    network.add_bank(Bank(1, cash=1.0))
+    network.add_bank(Bank(2, cash=1.0))
+    network.add_bank(Bank(3, cash=0.5))
+    network.add_debt(0, 1, 4.0)
+    network.add_debt(0, 2, 2.0)
+    network.add_debt(1, 3, 3.0)
+    network.add_debt(2, 3, 1.0)
+    return network
+
+
+def _template() -> StressTest:
+    return (
+        StressTest(_network())
+        .program("eisenberg-noe")
+        .preset("demo")
+        .degree_bound(2)
+    )
+
+
+def _stage_tail_seconds(result) -> float:
+    """Seconds spent in the per-window tail stages (aggregate/noise/release)."""
+    seconds = result.phases.seconds
+    return sum(seconds.get(f"stage:{name}", 0.0) for name in ("aggregate", "noise", "release"))
+
+
+def test_windowed_release_overhead(benchmark):
+    rows = []
+    for engine in ENGINES:
+        oneshot = (
+            _template()
+            .engine(engine)
+            .privacy(accountant=PrivacyAccountant())
+            .run(iterations=ITERATIONS)
+        )
+        accountant = PrivacyAccountant()
+        windowed = (
+            _template()
+            .engine(
+                engine,
+                release="windowed",
+                windows=WINDOWS,
+                window_epsilon=WINDOW_EPSILON,
+            )
+            .privacy(accountant=accountant)
+            .run(iterations=ITERATIONS)
+        )
+        # correctness first: windowing must not move a bit of the protocol.
+        # float engines are non-releasing one-shot (exact_aggregate is the
+        # raw value); the secure family noises one-shot by default.
+        assert windowed.trajectory == oneshot.trajectory, engine
+        assert windowed.pre_noise_aggregate == oneshot.exact_aggregate, engine
+        assert len(windowed.releases) == len(WINDOWS), engine
+        # budget shape: W ledger entries summing to W x window_epsilon
+        assert accountant.spent == len(WINDOWS) * WINDOW_EPSILON
+        assert accountant.reconcile().ok
+        for label, run, releases in (
+            ("one-shot", oneshot, 1 if oneshot.releases_output else 0),
+            ("windowed " + "+".join(str(w) for w in WINDOWS), windowed, len(WINDOWS)),
+        ):
+            rows.append(
+                [
+                    engine,
+                    label,
+                    ITERATIONS,
+                    releases,
+                    f"{_stage_tail_seconds(run) * 1000:.2f}",
+                    f"{run.wall_seconds:.4f}",
+                    f"{run.epsilon:.2f}" if run.epsilon is not None else "-",
+                ]
+            )
+    emit_table(
+        "Continual release - windowed schedule vs one-shot (same rounds)",
+        [
+            "engine",
+            "schedule",
+            "rounds",
+            "releases",
+            "agg+noise+release [ms]",
+            "wall [s]",
+            "epsilon",
+        ],
+        rows,
+        [
+            f"{ITERATIONS} rounds, windows {WINDOWS}, "
+            f"epsilon {WINDOW_EPSILON}/window, smoke={SMOKE}",
+            "same rounds either way: the delta is the per-window release tail",
+            "windowed pre-noise aggregate + trajectory verified bit-identical",
+            "to one-shot, and the audit ledger reconciled, before timing",
+        ],
+    )
+
+    benchmark.pedantic(
+        lambda: _template()
+        .engine(
+            "plaintext",
+            release="windowed",
+            windows=WINDOWS,
+            window_epsilon=WINDOW_EPSILON,
+        )
+        .run(iterations=ITERATIONS),
+        rounds=3,
+        iterations=1,
+    )

@@ -48,10 +48,13 @@ from repro.api import (
 from repro.core import (
     NO_OP_MESSAGE,
     DistributedGraph,
+    OneShotRelease,
     PlaintextEngine,
     ProgramSpec,
+    ReleaseRecord,
     VertexProgram,
     VertexView,
+    WindowedRelease,
 )
 from repro.core.config import DStressConfig, available_presets
 from repro.core.convergence import convergence_index
@@ -117,10 +120,12 @@ __all__ = [
     "FinancialNetwork",
     "FixedPointFormat",
     "NO_OP_MESSAGE",
+    "OneShotRelease",
     "PlaintextEngine",
     "PlaintextRun",
     "PrivacyAccountant",
     "ProgramSpec",
+    "ReleaseRecord",
     "RunResult",
     "Scenario",
     "ScenarioOutcome",
@@ -129,6 +134,7 @@ __all__ = [
     "StressTest",
     "VertexProgram",
     "VertexView",
+    "WindowedRelease",
     "available_engines",
     "available_presets",
     "available_programs",

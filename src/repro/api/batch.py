@@ -63,7 +63,8 @@ from repro.finance.network import FinancialNetwork
 from repro.obs.clock import now as clock_now
 from repro.obs.metrics import absorb_cache
 from repro.obs.trace import current_recorder
-from repro.privacy.budget import BudgetCharge, PrivacyAccountant
+from repro.privacy.admission import Precharge, precharge, release_epsilon, release_schedule
+from repro.privacy.budget import PrivacyAccountant
 
 __all__ = ["Scenario", "ScenarioOutcome", "BatchResult", "run_batch"]
 
@@ -277,11 +278,11 @@ class _PreparedBatch:
     cache: Optional[ScenarioCacheBase]
     effective_workers: int
     epsilon_charged: float
-    #: The accountant that was charged (if any) and the recorded charge
-    #: per payload index — kept so an abandoned stream can refund the
-    #: releases that never executed.
+    #: The accountant that was charged (if any) and the admitted
+    #: pre-charge per payload index — kept so an abandoned stream can
+    #: refund the releases that never executed.
     accountant: Optional[PrivacyAccountant]
-    charges: Dict[int, "BudgetCharge"]
+    charges: Dict[int, Precharge]
     #: Cache counter values when this batch started; the per-batch
     #: hit/miss counts on :class:`BatchResult` are deltas against these
     #: (in-batch duplicate hits are only counted once their primary
@@ -437,14 +438,20 @@ def _prepare_batch(
         # re-publishes an already-released value, which consumes no fresh
         # budget. The whole batch is affordability-checked first so a
         # refusal leaves the budget untouched — no partial charges for
-        # runs that never happen.
+        # runs that never happen. The itemization (one ledger line per
+        # release window, pricing from the engine's release policy) is
+        # the shared repro.privacy.admission authority, the same one the
+        # engine lifecycle and the service admission gate charge through.
         epsilon_charged = 0.0
-        charges: Dict[int, BudgetCharge] = {}
+        charges: Dict[int, Precharge] = {}
         if accountant is not None:
             releasing = [
                 i for i in to_run if payloads[i].engine.releases_output
             ]
-            total = sum(payloads[i].config.output_epsilon for i in releasing)
+            total = sum(
+                release_epsilon(payloads[i].engine, payloads[i].config)
+                for i in releasing
+            )
             if not accountant.can_afford(total):
                 raise PrivacyBudgetExceeded(
                     f"batch needs epsilon {total:.4g} across {len(releasing)} "
@@ -454,12 +461,14 @@ def _prepare_batch(
                 )
             for i in releasing:
                 payload = payloads[i]
-                charges[i] = accountant.charge(
-                    payload.config.output_epsilon,
-                    label=payload.label,
+                admitted = precharge(
+                    accountant,
+                    release_schedule(payload.engine, payload.config, payload.label),
                     fingerprint=fingerprints[i],
                 )
-                epsilon_charged += payload.config.output_epsilon
+                if admitted is not None:
+                    charges[i] = admitted
+                    epsilon_charged += admitted.epsilon
     except Exception:
         if cache_obj is not None:
             cache_obj.hits = hits_before
@@ -592,7 +601,7 @@ def _stream_outcomes(prepared: _PreparedBatch) -> Iterator[ScenarioOutcome]:
                 # completed but failed: the release never happened, so its
                 # pre-charge goes back (the finally below skips it — the
                 # index is in `completed` — so no double refund)
-                prepared.accountant.refund(prepared.charges[index])
+                prepared.charges[index].refund()
             # clone for dependents BEFORE the primary is yielded: once the
             # consumer holds the primary it may mutate it, and that must
             # not bleed into the duplicates still queued behind it. Hits
@@ -612,7 +621,7 @@ def _stream_outcomes(prepared: _PreparedBatch) -> Iterator[ScenarioOutcome]:
         if prepared.accountant is not None:
             for index, charge in prepared.charges.items():
                 if index not in completed:
-                    prepared.accountant.refund(charge)
+                    charge.refund()
         if prepared.cache is not None:
             prepared.cache.hits -= len(prepared.cached_results) - delivered_cached
             prepared.cache.misses -= sum(
@@ -664,7 +673,7 @@ def run_batch(
         # captured inside _run_payload and do NOT take this path.)
         if prepared.accountant is not None:
             for charge in prepared.charges.values():
-                prepared.accountant.refund(charge)
+                charge.refund()
         if prepared.cache is not None:
             prepared.cache.hits = prepared.hits_before
             prepared.cache.misses = prepared.misses_before
@@ -683,7 +692,7 @@ def run_batch(
         for index, charge in prepared.charges.items():
             outcome = by_index.get(index)
             if outcome is not None and not outcome.ok:
-                prepared.accountant.refund(charge)
+                charge.refund()
                 del kept[index]
         if len(kept) != len(prepared.charges):
             epsilon_charged = sum(c.epsilon for c in kept.values())

@@ -24,25 +24,43 @@ All built-ins compute the *same function* pre-noise on the same graph
 (the engine-parity tests assert it), so sweeps can trade fidelity for
 speed by swapping one string. New backends (remote, ...) implement
 :class:`Engine` and call :func:`~repro.api.registry.register_engine`.
+
+Every built-in executes through the shared run lifecycle
+(:func:`repro.core.lifecycle.run_lifecycle`): the backend contributes a
+:class:`~repro.core.lifecycle.LifecycleCore` with the five stage bodies
+(``setup``/``rounds``/``aggregate``/``noise``/``release``) while the
+spine owns budget admission, stage timings, the ``run`` trace span, and
+release bookkeeping. All engines therefore accept the release options
+``release="oneshot"|"windowed"``, ``windows=[...]``, and
+``window_epsilon=...`` — windowed continual release publishes one noised
+value per round window and charges the accountant per window.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.api.registry import register_engine
 from repro.api.result import RunResult
 from repro.core.config import DStressConfig
 from repro.core.engine import PlaintextEngine, PlaintextRun
 from repro.core.graph import DistributedGraph
+from repro.core.lifecycle import (
+    LifecycleCore,
+    OneShotRelease,
+    ReleasePolicy,
+    RunState,
+    resolve_release_policy,
+    run_lifecycle,
+)
 from repro.core.program import VertexProgram
 from repro.core.secure_engine import SecureEngine
 from repro.crypto.rng import DeterministicRNG
 from repro.exceptions import ConfigurationError
 from repro.obs.clock import now as clock_now
 from repro.obs.metrics import record_run
-from repro.obs.trace import current_recorder
+from repro.obs.trace import timed_phase
 from repro.privacy.budget import PrivacyAccountant
 from repro.privacy.mechanisms import two_sided_geometric_sample
 from repro.simulation.naive_baseline import estimate_monolithic_seconds
@@ -80,6 +98,8 @@ class Engine(ABC):
     #: Whether :meth:`execute` noises and releases an output — i.e. whether
     #: a run through this engine consumes differential-privacy budget. The
     #: session and batch layers charge the shared accountant based on this.
+    #: A windowed release policy forces it on (continual release always
+    #: publishes), which :meth:`_configure_release` reflects per instance.
     releases_output: bool = False
 
     @abstractmethod
@@ -92,6 +112,36 @@ class Engine(ABC):
         accountant: Optional[PrivacyAccountant] = None,
     ) -> RunResult:
         """Run ``program`` for ``iterations`` rounds and normalize the result."""
+
+    def _configure_release(
+        self,
+        release: Union[str, ReleasePolicy] = "oneshot",
+        windows: Optional[Sequence[int]] = None,
+        window_epsilon: Optional[float] = None,
+    ) -> None:
+        """Resolve the constructor's release options into a policy.
+
+        Called by every built-in ``__init__``; a policy that forces a
+        release (windowed) flips ``releases_output`` on for this instance
+        so the admission layers price the run correctly.
+        """
+        policy = resolve_release_policy(release, windows, window_epsilon)
+        self._release_policy = policy
+        self.releases_output = bool(type(self).releases_output or policy.forces_release)
+
+    @property
+    def release_policy(self) -> ReleasePolicy:
+        """When (and at what budget) this engine's runs release output.
+
+        Defaults to one-shot for engines (including third-party ones) that
+        never called :meth:`_configure_release`.
+        """
+        policy = getattr(self, "_release_policy", None)
+        return policy if policy is not None else OneShotRelease()
+
+    def release_label(self, program_name: str) -> str:
+        """Audit-ledger label for this engine's releases of ``program_name``."""
+        return f"{program_name}-release"
 
     @property
     def intra_run_width(self) -> int:
@@ -121,32 +171,33 @@ class Engine(ABC):
         return f"<{type(self).__name__} name={self.name!r}>"
 
 
-class PlaintextFloatEngine(Engine):
-    """The float reference semantics (what a trusted regulator computes)."""
-
-    name = "plaintext"
-
-    def execute(self, program, graph, iterations, config, accountant=None):
-        with current_recorder().span("run", engine=self.name, program=program.name):
-            started = clock_now()
-            run = PlaintextEngine(program).run_float(graph, iterations)
-            return _from_plaintext(
-                self.name, program, run, iterations, started, graph=graph
-            )
+# -------------------------------------------------------- shared helpers --
 
 
-class PlaintextFixedEngine(Engine):
-    """Clear evaluation of the MPC circuits — the secure engine's oracle."""
+def _central_release_noise(
+    program: VertexProgram,
+    config: DStressConfig,
+    pre_noise: float,
+    epsilon: float,
+    end: int,
+    fork_label: Optional[str] = None,
+) -> Tuple[float, int]:
+    """Central two-sided geometric output noise (plaintext-family engines).
 
-    name = "fixed"
-
-    def execute(self, program, graph, iterations, config, accountant=None):
-        with current_recorder().span("run", engine=self.name, program=program.name):
-            started = clock_now()
-            run = PlaintextEngine(program).run_fixed(graph, iterations)
-            return _from_plaintext(
-                self.name, program, run, iterations, started, graph=graph
-            )
+    The secure engine samples this mechanism inside MPC; the plaintext
+    family (when a windowed policy forces releases) and the naive baseline
+    sample it centrally. The fork is keyed by the cumulative release round
+    ``end``, so window ``j`` of any windowed schedule draws the same noise
+    as the release at round ``end`` of every other schedule reaching it —
+    the bit-identity the windowed property test pins. ``fork_label``
+    overrides the key for the naive baseline's historical one-shot stream.
+    """
+    label = fork_label if fork_label is not None else f"windowed-release-{end}"
+    rng = DeterministicRNG(config.seed).fork(label)
+    noise_raw = two_sided_geometric_sample(
+        config.noise_alpha_for(program.sensitivity, epsilon), rng
+    )
+    return pre_noise + noise_raw * program.fmt.resolution, noise_raw
 
 
 def _from_plaintext(
@@ -163,7 +214,8 @@ def _from_plaintext(
     engine's RunResult exposes the same telemetry shape.
 
     ``record=False`` defers the ambient-recorder absorption to callers
-    (async/sharded) that still attach transport extras afterwards.
+    (the lifecycle driver, which records once per run) that still attach
+    extras afterwards.
     """
     traffic = None
     if graph is not None:
@@ -187,6 +239,184 @@ def _from_plaintext(
     return result
 
 
+class _CentralNoiseCore(LifecycleCore):
+    """Noise stage shared by the plaintext-family cores.
+
+    Expects ``self.program`` / ``self.config`` on the concrete core. The
+    default one-shot policy never releases for these engines (``epsilon``
+    is ``None`` and the exact value passes through); a windowed policy
+    noises each window centrally.
+    """
+
+    program: VertexProgram
+    config: DStressConfig
+
+    def noise(self, state, pre_noise, epsilon, end):
+        if epsilon is None:
+            return pre_noise, None
+        return _central_release_noise(self.program, self.config, pre_noise, epsilon, end)
+
+
+# ----------------------------------------------------- plaintext engines --
+
+
+class _PlaintextCore(_CentralNoiseCore):
+    """Float/fixed oracle stages over a resumable
+    :class:`~repro.core.rounds.RoundLoop`."""
+
+    def __init__(self, engine, program, graph, config, fixed: bool) -> None:
+        self.engine = engine
+        self.program = program
+        self.graph = graph
+        self.config = config
+        self.fixed = fixed
+        self.inner = PlaintextEngine(program)
+        self.loop = None
+
+    def setup(self, state: RunState) -> None:
+        start = self.inner.start_fixed if self.fixed else self.inner.start_float
+        self.loop = start(self.graph, state.phases)
+
+    def run_window(self, state: RunState, rounds: int, first: bool) -> None:
+        self.loop.advance(rounds)
+        state.trajectory = list(self.loop.trajectory)
+
+    def aggregate(self, state: RunState) -> float:
+        observe = (
+            self.inner._aggregate_raw if self.fixed else self.inner._aggregate_float
+        )
+        return observe(self.loop.states)
+
+    def finalize(self, state: RunState, started: float) -> RunResult:
+        finish = self.inner.finish_fixed if self.fixed else self.inner.finish_float
+        run = finish(self.loop)
+        return _from_plaintext(
+            self.engine.name,
+            self.program,
+            run,
+            state.rounds_done,
+            started,
+            graph=self.graph,
+            record=False,
+        )
+
+
+class PlaintextFloatEngine(Engine):
+    """The float reference semantics (what a trusted regulator computes)."""
+
+    name = "plaintext"
+
+    def __init__(
+        self,
+        release: Union[str, ReleasePolicy] = "oneshot",
+        windows: Optional[Sequence[int]] = None,
+        window_epsilon: Optional[float] = None,
+    ) -> None:
+        self._configure_release(release, windows, window_epsilon)
+
+    def execute(self, program, graph, iterations, config, accountant=None):
+        core = _PlaintextCore(self, program, graph, config, fixed=False)
+        return run_lifecycle(self, core, program, config, iterations, accountant)
+
+
+class PlaintextFixedEngine(Engine):
+    """Clear evaluation of the MPC circuits — the secure engine's oracle."""
+
+    name = "fixed"
+
+    def __init__(
+        self,
+        release: Union[str, ReleasePolicy] = "oneshot",
+        windows: Optional[Sequence[int]] = None,
+        window_epsilon: Optional[float] = None,
+    ) -> None:
+        self._configure_release(release, windows, window_epsilon)
+
+    def execute(self, program, graph, iterations, config, accountant=None):
+        core = _PlaintextCore(self, program, graph, config, fixed=True)
+        return run_lifecycle(self, core, program, config, iterations, accountant)
+
+
+# --------------------------------------------------------- secure engine --
+
+
+class _SecureCore(LifecycleCore):
+    """The full protocol's stages, driving :class:`SecureEngine` windows.
+
+    The two classes are designed together: the core walks the engine's
+    window/aggregation internals (``_begin_run``/``_window_sync``/
+    ``_aggregation_tree``/``_noise_and_reveal``) so the lifecycle path
+    performs the crypto in exactly the transcript order of the historical
+    :meth:`SecureEngine.run`. The async variant in
+    :mod:`repro.api.secure_async` overrides :meth:`run_window` to dispatch
+    each window's batches over a transport bus.
+    """
+
+    def __init__(self, engine, program, graph, config) -> None:
+        self.engine = engine
+        self.program = program
+        self.graph = graph
+        self.config = config
+        self.inner = SecureEngine(
+            program, config, backend=getattr(engine, "backend", "scalar")
+        )
+        self.ctx = None
+        self.tree = None
+        self.levels = 1
+        self.noisy_raw = 0
+        self.pre_noise_raw = 0
+
+    def setup(self, state: RunState) -> None:
+        self.ctx = self.inner._begin_run(
+            self.graph, sum(state.windows), None, None, phases=state.phases
+        )
+
+    def run_window(self, state: RunState, rounds: int, first: bool) -> None:
+        self.inner._window_sync(self.ctx, rounds, first)
+        state.trajectory = list(self.ctx.trajectory)
+
+    def aggregate(self, state: RunState) -> float:
+        # the aggregation tree consumes shared randomness, so it runs once
+        # per window and hands its root inputs forward to the noise stage
+        with timed_phase(self.ctx.phases, "aggregation"):
+            self.tree = self.inner._aggregation_tree(self.ctx)
+        self.pre_noise_raw = self.tree[3]
+        return self.pre_noise_raw * self.program.fmt.resolution
+
+    def noise(self, state, pre_noise, epsilon, end):
+        root_inputs, root_width, self.levels, pre_noise_raw = self.tree
+        with timed_phase(self.ctx.phases, "aggregation"):
+            self.noisy_raw = self.inner._noise_and_reveal(
+                self.ctx, root_inputs, root_width, epsilon
+            )
+        fmt = self.program.fmt
+        return self.noisy_raw * fmt.resolution, self.noisy_raw - pre_noise_raw
+
+    def finalize(self, state: RunState, started: float) -> RunResult:
+        secure = self.inner._assemble_result(
+            self.ctx, self.noisy_raw, self.pre_noise_raw, self.levels
+        )
+        return RunResult(
+            engine=self.engine.name,
+            program=self.program.name,
+            aggregate=secure.noisy_output,
+            trajectory=list(secure.trajectory),
+            iterations=state.rounds_done,
+            wall_seconds=clock_now() - started,
+            pre_noise_aggregate=secure.pre_noise_output,
+            noise_raw=secure.noise_raw,
+            epsilon=self.config.output_epsilon,
+            traffic=secure.traffic,
+            phases=secure.phases,
+            extras={
+                "transfer_count": float(secure.transfer_count),
+                "gmw_ot_count": float(secure.gmw_ot_count),
+                "aggregation_levels": float(secure.aggregation_levels),
+            },
+            raw=secure,
+        )
+
+
 class SecureDStressEngine(Engine):
     """The full DStress protocol stack (§3.3–§3.6).
 
@@ -199,41 +429,68 @@ class SecureDStressEngine(Engine):
     name = "secure"
     releases_output = True
 
-    def __init__(self, backend: str = "scalar") -> None:
+    def __init__(
+        self,
+        backend: str = "scalar",
+        release: Union[str, ReleasePolicy] = "oneshot",
+        windows: Optional[Sequence[int]] = None,
+        window_epsilon: Optional[float] = None,
+    ) -> None:
         if backend not in ("scalar", "bitsliced"):
             raise ConfigurationError(
                 f"engine 'secure' has no backend {backend!r}; "
                 "choose 'scalar' or 'bitsliced'"
             )
         self.backend = backend
+        self._configure_release(release, windows, window_epsilon)
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        with current_recorder().span("run", engine=self.name, program=program.name):
-            started = clock_now()
-            result = SecureEngine(program, config, backend=self.backend).run(
-                graph, iterations, accountant=accountant
+        core = _SecureCore(self, program, graph, config)
+        return run_lifecycle(self, core, program, config, iterations, accountant)
+
+
+# -------------------------------------------------------- naive baseline --
+
+
+class _NaiveCore(_PlaintextCore):
+    """The monolithic baseline: fixed-circuit stages + central noise +
+    the cubic cost projection."""
+
+    def __init__(self, engine, program, graph, config) -> None:
+        super().__init__(engine, program, graph, config, fixed=True)
+
+    def noise(self, state, pre_noise, epsilon, end):
+        if epsilon is None:
+            return pre_noise, None
+        # the historical one-shot noise stream is pinned (seeded results
+        # depend on it); windowed releases key their forks by round
+        label = (
+            "naive-output-noise"
+            if self.engine.release_policy.kind == "oneshot"
+            else None
+        )
+        return _central_release_noise(
+            self.program, self.config, pre_noise, epsilon, end, fork_label=label
+        )
+
+    def finalize(self, state: RunState, started: float) -> RunResult:
+        result = super().finalize(state, started)
+        if self.engine.estimate_cost:
+            parties = min(self.config.block_size, self.engine.max_parties)
+            projected, fit = estimate_monolithic_seconds(
+                self.graph.num_vertices,
+                state.rounds_done,
+                self.program.fmt,
+                parties=parties,
+                sample_sizes=self.engine.sample_sizes,
             )
-            normalized = RunResult(
-                engine=self.name,
-                program=program.name,
-                aggregate=result.noisy_output,
-                trajectory=list(result.trajectory),
-                iterations=iterations,
-                wall_seconds=clock_now() - started,
-                pre_noise_aggregate=result.pre_noise_output,
-                noise_raw=result.noise_raw,
-                epsilon=config.output_epsilon,
-                traffic=result.traffic,
-                phases=result.phases,
-                extras={
-                    "transfer_count": float(result.transfer_count),
-                    "gmw_ot_count": float(result.gmw_ot_count),
-                    "aggregation_levels": float(result.aggregation_levels),
-                },
-                raw=result,
-            )
-            record_run(normalized)
-            return normalized
+            result.extras["projected_mpc_seconds"] = projected
+            result.extras["fit_coefficient"] = fit.coefficient
+        # the monolithic baseline computes centrally: no per-link round
+        # traffic exists, but the meter is present (empty) so every
+        # engine's RunResult exposes the same key scheme
+        result.traffic = TrafficMeter()
+        return result
 
 
 class NaiveMPCEngine(Engine):
@@ -265,57 +522,21 @@ class NaiveMPCEngine(Engine):
         estimate_cost: bool = True,
         sample_sizes: Sequence[int] = (2, 3),
         max_parties: int = 3,
+        release: Union[str, ReleasePolicy] = "oneshot",
+        windows: Optional[Sequence[int]] = None,
+        window_epsilon: Optional[float] = None,
     ) -> None:
         self.estimate_cost = estimate_cost
         self.sample_sizes = tuple(sample_sizes)
         self.max_parties = max_parties
+        self._configure_release(release, windows, window_epsilon)
+
+    def release_label(self, program_name: str) -> str:
+        return f"{program_name}-naive-release"
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        with current_recorder().span("run", engine=self.name, program=program.name):
-            started = clock_now()
-            if accountant is not None:
-                accountant.charge(
-                    config.output_epsilon, label=f"{program.name}-naive-release"
-                )
-            run = PlaintextEngine(program).run_fixed(graph, iterations)
-            fmt = program.fmt
-            rng = DeterministicRNG(config.seed).fork("naive-output-noise")
-            noise_raw = two_sided_geometric_sample(
-                config.noise_alpha_for(program.sensitivity), rng
-            )
-            extras = {}
-            if self.estimate_cost:
-                parties = min(config.block_size, self.max_parties)
-                projected, fit = estimate_monolithic_seconds(
-                    graph.num_vertices,
-                    iterations,
-                    fmt,
-                    parties=parties,
-                    sample_sizes=self.sample_sizes,
-                )
-                extras["projected_mpc_seconds"] = projected
-                extras["fit_coefficient"] = fit.coefficient
-            result = RunResult(
-                engine=self.name,
-                program=program.name,
-                aggregate=run.aggregate + noise_raw * fmt.resolution,
-                trajectory=list(run.trajectory),
-                iterations=iterations,
-                wall_seconds=clock_now() - started,
-                pre_noise_aggregate=run.aggregate,
-                noise_raw=noise_raw,
-                epsilon=config.output_epsilon,
-                # the monolithic baseline computes centrally: no per-link
-                # round traffic exists, but the meter is present (empty)
-                # so every engine's RunResult exposes the same key scheme
-                traffic=TrafficMeter(),
-                phases=run.phases,
-                final_states=run.final_states,
-                extras=extras,
-                raw=run,
-            )
-            record_run(result)
-            return result
+        core = _NaiveCore(self, program, graph, config)
+        return run_lifecycle(self, core, program, config, iterations, accountant)
 
 
 register_engine("plaintext", PlaintextFloatEngine, aliases=("float", "clear"))

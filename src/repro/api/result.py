@@ -16,14 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.core.convergence import DEFAULT_TOLERANCE, convergence_index, has_converged
+from repro.core.convergence import TrajectoryConvergence
+from repro.core.lifecycle import ReleaseRecord
 from repro.simulation.netsim import PhaseTimer, TrafficMeter
 
 __all__ = ["RunResult"]
 
 
 @dataclass
-class RunResult:
+class RunResult(TrajectoryConvergence):
     """What one engine execution produced, in engine-independent shape.
 
     Attributes
@@ -59,6 +60,13 @@ class RunResult:
     extras:
         Backend-specific scalars, e.g. the naive baseline's
         ``projected_mpc_seconds`` extrapolation.
+    releases:
+        Per-window :class:`~repro.core.lifecycle.ReleaseRecord` entries
+        for releasing runs driven through the shared lifecycle. A
+        one-shot release has a single record; ``release="windowed"``
+        continual release has one per window. The headline
+        ``aggregate``/``noise_raw``/``epsilon`` fields describe the last
+        (cumulative) release.
     raw:
         The engine-native result object, untouched.
     """
@@ -76,6 +84,7 @@ class RunResult:
     phases: Optional[PhaseTimer] = None
     final_states: Optional[Dict[int, Dict[str, float]]] = None
     extras: Dict[str, float] = field(default_factory=dict)
+    releases: Optional[List[ReleaseRecord]] = None
     raw: Any = None
 
     @property
@@ -93,15 +102,6 @@ class RunResult:
     def releases_output(self) -> bool:
         """Whether this run consumed privacy budget (noised its output)."""
         return self.epsilon is not None
-
-    def converged_at(self, tolerance: float = DEFAULT_TOLERANCE) -> Optional[int]:
-        """Smallest iteration count after which the aggregate stopped
-        moving by more than ``tolerance`` (``None`` if it never settled)."""
-        return convergence_index(self.trajectory, tolerance)
-
-    def converged(self, tolerance: float = DEFAULT_TOLERANCE) -> bool:
-        """Whether the final step moved at most ``tolerance``."""
-        return has_converged(self.trajectory, tolerance)
 
     def export(self, recorder: Any = None) -> Dict[str, Any]:
         """Versioned JSON-safe export (``dstress.obs.run`` schema).

@@ -32,18 +32,23 @@ The parity matrix asserts this cell by cell. ``result.traffic`` stays
 the protocol meter (per-node *and* per-link, OT-extension bytes
 included); a WAN bus's own delay accounting lands in
 ``extras["simulated_seconds"]`` / ``extras["wan_bytes"]``.
+
+Like every backend the engine executes through the shared run lifecycle;
+under ``release="windowed"`` each window gets a fresh
+:class:`~repro.core.rounds.SecureRoundScheduler` (a window edge is a full
+barrier, so no delivery ever spans one) on the bus opened once at setup.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Sequence, Union
 
 from repro.api.async_engine import run_coroutine
-from repro.api.engines import Engine, validate_intra_run_width
+from repro.api.engines import _SecureCore, Engine, validate_intra_run_width
 from repro.api.registry import register_engine
 from repro.api.result import RunResult
-from repro.core.secure_engine import SecureEngine
-from repro.exceptions import ConfigurationError
+from repro.core.lifecycle import ReleasePolicy, RunState, run_lifecycle
+from repro.core.rounds import SecureRoundScheduler
 from repro.core.transport import (
     Transport,
     attach_wire_extras,
@@ -51,11 +56,62 @@ from repro.core.transport import (
     transport_from_spec,
     wan_meter_snapshot,
 )
-from repro.obs.clock import now as clock_now
-from repro.obs.metrics import record_run
-from repro.obs.trace import current_recorder
+from repro.exceptions import ConfigurationError
 
 __all__ = ["SecureAsyncEngine"]
+
+
+class _SecureAsyncCore(_SecureCore):
+    """:class:`~repro.api.engines._SecureCore` with rounds over a bus.
+
+    Setup, aggregation and noising are the synchronous stages of the
+    parent (the aggregation tree is a final local phase, not a round);
+    only the window drive differs — each window's block batches dispatch
+    through a fresh scheduler over the transport.
+    """
+
+    def __init__(self, engine, program, graph, config) -> None:
+        super().__init__(engine, program, graph, config)
+        self.bus = None
+        self.before = None
+
+    def setup(self, state: RunState) -> None:
+        self.bus = transport_from_spec(self.engine.transport, self.config)
+        # A caller-supplied Transport instance may be reused across runs;
+        # snapshot its counters so the extras below report *this* run.
+        self.before = wan_meter_snapshot(self.bus)
+        self.bus.open(self.graph, fill=None)
+        super().setup(state)
+
+    def run_window(self, state: RunState, rounds: int, first: bool) -> None:
+        scheduler = SecureRoundScheduler(
+            self.bus, max_tasks=self.engine.tasks, overlap=self.engine.overlap
+        )
+        run_coroutine(self.inner._window_async(self.ctx, scheduler, rounds, first))
+        state.trajectory = list(self.ctx.trajectory)
+
+    def finalize(self, state: RunState, started: float) -> RunResult:
+        result = super().finalize(state, started)
+        result.extras.update(
+            {
+                # effective concurrency, as with the async engine: the
+                # sequential schedule keeps one batch in flight no matter
+                # what the constructor asked for
+                "tasks": float(self.engine.tasks if self.engine.overlap else 1),
+                "overlap": 1.0 if self.engine.overlap else 0.0,
+            }
+        )
+        self.engine._attach_bus_extras(result, self.bus, self.before)
+        attach_wire_extras(result, self.bus)
+        self.close()
+        return result
+
+    def close(self, error: Optional[BaseException] = None) -> None:
+        """Close an engine-owned bus (a "tcp" spec owns sockets and an io
+        thread); caller-supplied instances stay open across runs."""
+        if self.bus is not None and self.bus is not self.engine.transport:
+            self.bus.close(error=error)
+            self.bus = None
 
 
 class SecureAsyncEngine(Engine):
@@ -78,6 +134,9 @@ class SecureAsyncEngine(Engine):
         transport: Union[str, Transport] = "memory",
         overlap: bool = True,
         backend: str = "scalar",
+        release: Union[str, ReleasePolicy] = "oneshot",
+        windows: Optional[Sequence[int]] = None,
+        window_epsilon: Optional[float] = None,
     ) -> None:
         if backend not in ("scalar", "bitsliced"):
             raise ConfigurationError(
@@ -88,6 +147,7 @@ class SecureAsyncEngine(Engine):
         self.transport = check_transport_spec(transport)
         self.overlap = bool(overlap)
         self.backend = backend
+        self._configure_release(release, windows, window_epsilon)
 
     @property
     def intra_run_width(self) -> int:
@@ -96,67 +156,12 @@ class SecureAsyncEngine(Engine):
         return self.tasks if self.overlap else 1
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        with current_recorder().span("run", engine=self.name, program=program.name):
-            return self._execute(program, graph, iterations, config, accountant)
-
-    def _execute(self, program, graph, iterations, config, accountant=None):
-        started = clock_now()
-        bus = transport_from_spec(self.transport, config)
-        # A caller-supplied Transport instance may be reused across runs;
-        # snapshot its counters so the extras below report *this* run.
-        before = wan_meter_snapshot(bus)
-
-        engine = SecureEngine(program, config, backend=self.backend)
-        # as in the async engine: a bus built here from a string spec (a
-        # "tcp" mesh with sockets and an io thread) is closed by this run,
-        # success or failure; caller-supplied instances stay open
-        engine_owned = bus is not self.transport
+        core = _SecureAsyncCore(self, program, graph, config)
         try:
-            result = run_coroutine(
-                engine.run_async(
-                    graph,
-                    iterations,
-                    transport=bus,
-                    accountant=accountant,
-                    max_tasks=self.tasks,
-                    overlap=self.overlap,
-                )
-            )
+            return run_lifecycle(self, core, program, config, iterations, accountant)
         except BaseException as exc:
-            if engine_owned:
-                bus.close(error=exc)
+            core.close(error=exc)
             raise
-
-        run_result = RunResult(
-            engine=self.name,
-            program=program.name,
-            aggregate=result.noisy_output,
-            trajectory=list(result.trajectory),
-            iterations=iterations,
-            wall_seconds=clock_now() - started,
-            pre_noise_aggregate=result.pre_noise_output,
-            noise_raw=result.noise_raw,
-            epsilon=config.output_epsilon,
-            traffic=result.traffic,
-            phases=result.phases,
-            extras={
-                "transfer_count": float(result.transfer_count),
-                "gmw_ot_count": float(result.gmw_ot_count),
-                "aggregation_levels": float(result.aggregation_levels),
-                # effective concurrency, as with the async engine: the
-                # sequential schedule keeps one batch in flight no matter
-                # what the constructor asked for
-                "tasks": float(self.tasks if self.overlap else 1),
-                "overlap": 1.0 if self.overlap else 0.0,
-            },
-            raw=result,
-        )
-        self._attach_bus_extras(run_result, bus, before)
-        attach_wire_extras(run_result, bus)
-        if engine_owned:
-            bus.close()
-        record_run(run_result)
-        return run_result
 
     @staticmethod
     def _attach_bus_extras(run_result: RunResult, bus, before) -> None:

@@ -28,19 +28,32 @@ Determinism argument (asserted bit-for-bit by the parity tests):
 Inside a batch worker (daemonic ⇒ no child processes allowed) the same
 partition runs inline, sequentially; by (2) and (3) the result is
 unchanged, so sharded scenarios compose with ``run_many`` transparently.
+
+Like every backend the engine executes through the shared run lifecycle;
+under ``release="windowed"`` each window spins up its own worker pool and
+the round loop resumes via the :func:`~repro.core.rounds.run_rounds`
+resumption contract, so the windowed trajectory stays bit-identical to
+the one-shot run of the same total length.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.api.engines import Engine, _from_plaintext, validate_intra_run_width
+from repro.api.engines import (
+    Engine,
+    _CentralNoiseCore,
+    _from_plaintext,
+    validate_intra_run_width,
+)
 from repro.api.pool import create_pool, in_worker_process
 from repro.api.registry import register_engine
+from repro.api.result import RunResult
 from repro.core.engine import PlaintextEngine, PlaintextRun
 from repro.core.graph import DistributedGraph
+from repro.core.lifecycle import ReleasePolicy, RunState, run_lifecycle
 from repro.core.program import NO_OP_MESSAGE, VertexProgram
-from repro.core.rounds import route_messages, run_rounds, sequential_superstep
+from repro.core.rounds import RoundLoop, route_messages, sequential_superstep
 from repro.core.transport import (
     attach_wan_extras,
     check_transport_spec,
@@ -48,10 +61,7 @@ from repro.core.transport import (
     wan_meter_snapshot,
 )
 from repro.exceptions import ConfigurationError
-from repro.obs.clock import now as clock_now
-from repro.obs.metrics import record_run
-from repro.obs.trace import current_recorder, timed_phase
-from repro.simulation.netsim import PhaseTimer
+from repro.obs.trace import timed_phase
 
 __all__ = ["ShardedEngine", "partition_vertices", "cross_shard_edges"]
 
@@ -115,6 +125,146 @@ def _shard_step(
     return superstep(states, inboxes)
 
 
+class _ShardedCore(_CentralNoiseCore):
+    """Lifecycle stages for the sharded backend.
+
+    The inline path (one shard, or inside a daemonic batch worker) is the
+    reference engine's own :class:`~repro.core.rounds.RoundLoop` — one
+    float semantics implementation, not two. The pooled path drives the
+    same loop with the superstep fanned across a fresh worker pool per
+    window (pools don't outlive a window: a windowed run may idle for a
+    long release stage between rounds, and worker placement can never
+    change a value — see the determinism argument above).
+    """
+
+    def __init__(self, engine, program, graph, config) -> None:
+        self.engine = engine
+        self.program = program
+        self.graph = graph
+        self.config = config
+        self.oracle: Optional[PlaintextEngine] = None
+        self.loop: Optional[RoundLoop] = None
+        self.chunks: List[List[int]] = []
+        self.ghost_edges = 0
+        self.inline = True
+        self.bus = None
+        self.before = None
+        self._pool = None
+
+    def setup(self, state: RunState) -> None:
+        self.chunks = partition_vertices(self.graph.vertex_ids, self.engine.shards)
+        self.ghost_edges = cross_shard_edges(self.graph, self.chunks)
+        self.bus = (
+            transport_from_spec(self.engine.transport, self.config)
+            if self.engine.transport is not None
+            else None
+        )
+        self.before = wan_meter_snapshot(self.bus)
+        self.oracle = PlaintextEngine(self.program, transport=self.bus)
+        self.inline = len(self.chunks) <= 1 or in_worker_process()
+        if self.inline:
+            self.loop = self.oracle.start_float(self.graph, state.phases)
+        else:
+            self.loop = self._start_pooled(state)
+
+    def _start_pooled(self, state: RunState) -> RoundLoop:
+        program = self.program
+        graph = self.graph
+        oracle = self.oracle
+        degree_bound = graph.degree_bound
+        with timed_phase(state.phases, "initialization"):
+            if oracle.transport is not None:
+                # one execution = one bus session (resets round counters /
+                # fault accounting), same as the inline start_float path
+                oracle.transport.open(graph, NO_OP_MESSAGE)
+            states = {
+                v.vertex_id: program.initial_state(v, degree_bound)
+                for v in graph.vertices()
+            }
+            inboxes: Dict[int, List[float]] = {
+                v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
+            }
+
+        def superstep(state_map, inbox_map):
+            payloads = [
+                (
+                    {vid: state_map[vid] for vid in chunk},
+                    {vid: inbox_map[vid] for vid in chunk},
+                )
+                for chunk in self.chunks
+            ]
+            merged_states: Dict[int, Dict[str, float]] = {}
+            merged_outboxes: Dict[int, List[float]] = {}
+            for shard_states, shard_outboxes in self._pool.map(_shard_step, payloads):
+                merged_states.update(shard_states)
+                merged_outboxes.update(shard_outboxes)
+            return merged_states, merged_outboxes
+
+        return RoundLoop(
+            superstep=superstep,
+            # the barrier merge reuses the transport gather: the ghost
+            # exchange is one full-round delivery over the same bus
+            # every other engine routes through (and a WAN bus meters it)
+            route=lambda outboxes: route_messages(
+                graph, outboxes, NO_OP_MESSAGE, transport=oracle.transport
+            ),
+            observe=oracle._aggregate_float,
+            states=states,
+            inboxes=inboxes,
+            phases=state.phases,
+        )
+
+    def run_window(self, state: RunState, rounds: int, first: bool) -> None:
+        if self.inline:
+            self.loop.advance(rounds)
+        else:
+            with create_pool(
+                len(self.chunks),
+                initializer=_init_shard_worker,
+                initargs=(self.program, self.graph.degree_bound),
+            ) as pool:
+                self._pool = pool
+                try:
+                    self.loop.advance(rounds)
+                finally:
+                    self._pool = None
+        state.trajectory = list(self.loop.trajectory)
+
+    def aggregate(self, state: RunState) -> float:
+        return self.oracle._aggregate_float(self.loop.states)
+
+    def finalize(self, state: RunState, started: float) -> RunResult:
+        if self.inline:
+            run = self.oracle.finish_float(self.loop)
+        else:
+            run = PlaintextRun(
+                aggregate=self.oracle._aggregate_float(self.loop.states),
+                final_states=self.loop.states,
+                trajectory=self.loop.trajectory,
+                phases=state.phases,
+            )
+        result = _from_plaintext(
+            self.engine.name,
+            self.program,
+            run,
+            state.rounds_done,
+            started,
+            graph=self.graph,
+            record=False,
+        )
+        result.extras.update(
+            {
+                "shards": float(len(self.chunks)),
+                "requested_shards": float(self.engine.shards),
+                "ghost_edges": float(self.ghost_edges),
+                "ghost_messages": float(self.ghost_edges * state.rounds_done),
+                "inline": 1.0 if self.inline else 0.0,
+            }
+        )
+        attach_wan_extras(result, self.bus, self.before)
+        return result
+
+
 class ShardedEngine(Engine):
     """Float-mode execution partitioned across ``shards`` worker processes.
 
@@ -125,115 +275,23 @@ class ShardedEngine(Engine):
 
     name = "sharded"
 
-    def __init__(self, shards: int = 2, transport=None) -> None:
+    def __init__(
+        self,
+        shards: int = 2,
+        transport=None,
+        release: Union[str, ReleasePolicy] = "oneshot",
+        windows: Optional[Sequence[int]] = None,
+        window_epsilon: Optional[float] = None,
+    ) -> None:
         self.shards = validate_intra_run_width(shards, self.name)
         #: Bus the round-barrier ghost exchange is routed (and metered)
         #: over; ``None`` keeps the shared zero-delay in-memory bus.
         self.transport = check_transport_spec(transport, optional=True)
+        self._configure_release(release, windows, window_epsilon)
 
     def execute(self, program, graph, iterations, config, accountant=None):
-        with current_recorder().span("run", engine=self.name, program=program.name):
-            started = clock_now()
-            chunks = partition_vertices(graph.vertex_ids, self.shards)
-            ghost_edges = cross_shard_edges(graph, chunks)
-            bus = (
-                transport_from_spec(self.transport, config)
-                if self.transport is not None
-                else None
-            )
-            before = wan_meter_snapshot(bus)
-            oracle = PlaintextEngine(program, transport=bus)
-
-            inline = len(chunks) <= 1 or in_worker_process()
-            if inline:
-                # one shard, or inside a daemonic pool worker (cannot fork):
-                # the partition is immaterial, so delegate to the reference
-                # engine — one float semantics implementation, not two.
-                run = oracle.run_float(graph, iterations)
-            else:
-                run = self._run_pooled(oracle, program, graph, chunks, iterations)
-
-            result = _from_plaintext(
-                self.name, program, run, iterations, started, graph=graph, record=False
-            )
-            result.extras.update(
-                {
-                    "shards": float(len(chunks)),
-                    "requested_shards": float(self.shards),
-                    "ghost_edges": float(ghost_edges),
-                    "ghost_messages": float(ghost_edges * iterations),
-                    "inline": 1.0 if inline else 0.0,
-                }
-            )
-            attach_wan_extras(result, bus, before)
-            record_run(result)
-            return result
-
-    def _run_pooled(
-        self,
-        oracle: PlaintextEngine,
-        program: VertexProgram,
-        graph: DistributedGraph,
-        chunks: List[List[int]],
-        iterations: int,
-    ) -> PlaintextRun:
-        degree_bound = graph.degree_bound
-        phases = PhaseTimer()
-        with timed_phase(phases, "initialization"):
-            if oracle.transport is not None:
-                # one execution = one bus session (resets round counters /
-                # fault accounting), same as the inline run_float path
-                oracle.transport.open(graph, NO_OP_MESSAGE)
-            states = {
-                v.vertex_id: program.initial_state(v, degree_bound)
-                for v in graph.vertices()
-            }
-            inboxes: Dict[int, List[float]] = {
-                v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
-            }
-
-        with create_pool(
-            len(chunks),
-            initializer=_init_shard_worker,
-            initargs=(program, degree_bound),
-        ) as pool:
-
-            def superstep(state_map, inbox_map):
-                payloads = [
-                    (
-                        {vid: state_map[vid] for vid in chunk},
-                        {vid: inbox_map[vid] for vid in chunk},
-                    )
-                    for chunk in chunks
-                ]
-                merged_states: Dict[int, Dict[str, float]] = {}
-                merged_outboxes: Dict[int, List[float]] = {}
-                for shard_states, shard_outboxes in pool.map(_shard_step, payloads):
-                    merged_states.update(shard_states)
-                    merged_outboxes.update(shard_outboxes)
-                return merged_states, merged_outboxes
-
-            states, trajectory = run_rounds(
-                superstep=superstep,
-                # the barrier merge reuses the transport gather: the ghost
-                # exchange is one full-round delivery over the same bus
-                # every other engine routes through (and a WAN bus meters it)
-                route=lambda outboxes: route_messages(
-                    graph, outboxes, NO_OP_MESSAGE, transport=oracle.transport
-                ),
-                observe=oracle._aggregate_float,
-                states=states,
-                inboxes=inboxes,
-                iterations=iterations,
-                phases=phases,
-            )
-
-        return PlaintextRun(
-            aggregate=oracle._aggregate_float(states),
-            final_states=states,
-            trajectory=trajectory,
-            phases=phases,
-        )
+        core = _ShardedCore(self, program, graph, config)
+        return run_lifecycle(self, core, program, config, iterations, accountant)
 
 
 register_engine("sharded", ShardedEngine, aliases=("shard", "partitioned"))

@@ -98,27 +98,41 @@ class DStressConfig:
         """``k + 1``."""
         return self.collusion_bound + 1
 
-    def noise_alpha_for(self, sensitivity: float) -> float:
+    def noise_alpha_for(
+        self, sensitivity: float, epsilon: Optional[float] = None
+    ) -> float:
         """Geometric parameter of the output noise in raw LSB units.
 
         The discretized Laplace with scale ``s / eps`` (in units of T)
         becomes a two-sided geometric over LSBs with
-        ``alpha = exp(-eps * resolution / s)``.
+        ``alpha = exp(-eps * resolution / s)``. ``epsilon`` overrides the
+        config's ``output_epsilon`` for per-window continual release;
+        the default is the full one-shot budget.
         """
         if sensitivity <= 0:
             raise ConfigurationError("sensitivity must be positive")
-        return math.exp(-self.output_epsilon * self.fmt.resolution / sensitivity)
+        eps = self.output_epsilon if epsilon is None else epsilon
+        if eps <= 0:
+            raise ConfigurationError("release epsilon must be positive")
+        return math.exp(-eps * self.fmt.resolution / sensitivity)
 
-    def noise_magnitude_bits_for(self, sensitivity: float) -> int:
+    def noise_magnitude_bits_for(
+        self, sensitivity: float, epsilon: Optional[float] = None
+    ) -> int:
         """Magnitude bits covering the noise distribution's useful range.
 
         The truncated sampler covers ``[0, 2^bits)``; we size it to hold
         about 16 scale-lengths of the geometric so truncation is a
-        ~``e^-16`` tail event.
+        ~``e^-16`` tail event. ``epsilon`` overrides ``output_epsilon``
+        the same way as :meth:`noise_alpha_for` (smaller per-window
+        budgets mean wider noise, so the window grows with it).
         """
         if self.noise_magnitude_bits is not None:
             return self.noise_magnitude_bits
-        scale_lsb = sensitivity / (self.output_epsilon * self.fmt.resolution)
+        eps = self.output_epsilon if epsilon is None else epsilon
+        if eps <= 0:
+            raise ConfigurationError("release epsilon must be positive")
+        scale_lsb = sensitivity / (eps * self.fmt.resolution)
         return max(4, math.ceil(math.log2(scale_lsb * 16.0)))
 
     # -- presets -----------------------------------------------------------------

@@ -19,7 +19,12 @@ from typing import Optional, Sequence
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["DEFAULT_TOLERANCE", "convergence_index", "has_converged"]
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "TrajectoryConvergence",
+    "convergence_index",
+    "has_converged",
+]
 
 #: Default absolute tolerance on the aggregate delta between rounds. The
 #: fixed-point resolution of the default format (2^-8 ≈ 0.004) is coarser
@@ -54,3 +59,26 @@ def has_converged(
     if len(trajectory) < 2:
         return False
     return abs(trajectory[-1] - trajectory[-2]) <= tolerance
+
+
+class TrajectoryConvergence:
+    """Mixin for result types that carry a pre-noise ``trajectory``.
+
+    Every result type used to re-implement ``converged_at`` against its
+    own trajectory attribute; this mixin is the single definition, so the
+    plaintext and secure paths cannot drift in tolerance handling again
+    (the regression test pins both engines to the same answer on the
+    seed network).
+    """
+
+    trajectory: Sequence[float]
+
+    def converged_at(self, tolerance: float = DEFAULT_TOLERANCE) -> Optional[int]:
+        """Smallest iteration count after which the (pre-noise) aggregate
+        stopped moving by more than ``tolerance`` (``None`` if it never
+        settled)."""
+        return convergence_index(self.trajectory, tolerance)
+
+    def converged(self, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+        """Whether the trajectory's final step moved at most ``tolerance``."""
+        return has_converged(self.trajectory, tolerance)

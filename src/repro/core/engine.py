@@ -21,10 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.convergence import DEFAULT_TOLERANCE, convergence_index
+from repro.core.convergence import TrajectoryConvergence
 from repro.core.graph import DistributedGraph
 from repro.core.program import NO_OP_MESSAGE, VertexProgram
-from repro.core.rounds import route_messages, run_rounds, sequential_superstep
+from repro.core.rounds import RoundLoop, route_messages, sequential_superstep
 from repro.core.transport import Transport
 from repro.exceptions import ConfigurationError
 from repro.obs.trace import timed_phase
@@ -34,7 +34,7 @@ __all__ = ["PlaintextRun", "PlaintextEngine"]
 
 
 @dataclass
-class PlaintextRun:
+class PlaintextRun(TrajectoryConvergence):
     """Result of a plaintext execution."""
 
     aggregate: float
@@ -45,11 +45,6 @@ class PlaintextRun:
     #: filled through the shared recorder path so plaintext runs report
     #: phases the same way the secure engine always has
     phases: Optional[PhaseTimer] = None
-
-    def converged_at(self, tolerance: float = DEFAULT_TOLERANCE) -> Optional[int]:
-        """Smallest iteration count after which the aggregate stopped
-        moving by more than ``tolerance`` (``None`` if it never settled)."""
-        return convergence_index(self.trajectory, tolerance)
 
 
 class PlaintextEngine:
@@ -69,11 +64,18 @@ class PlaintextEngine:
 
     # -- float mode -------------------------------------------------------------
 
-    def run_float(self, graph: DistributedGraph, iterations: int) -> PlaintextRun:
-        """Reference execution over floats."""
+    def start_float(
+        self, graph: DistributedGraph, phases: Optional[PhaseTimer] = None
+    ) -> RoundLoop:
+        """Initialize a resumable float-mode round loop (§3.6 setup).
+
+        ``advance(n)`` on the returned loop runs ``n`` computation steps;
+        :meth:`finish_float` packages the loop into a
+        :class:`PlaintextRun`. :meth:`run_float` is the one-shot
+        composition; release policies interleave stages between windows.
+        """
         program = self.program
         degree_bound = graph.degree_bound
-        phases = PhaseTimer()
         with timed_phase(phases, "initialization"):
             if self.transport is not None:
                 # one execution = one bus session: resets per-run transport
@@ -86,8 +88,7 @@ class PlaintextEngine:
             inboxes: Dict[int, List[float]] = {
                 v: [NO_OP_MESSAGE] * degree_bound for v in graph.vertex_ids
             }
-
-        states, trajectory = run_rounds(
+        return RoundLoop(
             superstep=sequential_superstep(
                 graph.vertex_ids,
                 lambda _vid, state, messages: program.float_update(
@@ -100,16 +101,23 @@ class PlaintextEngine:
             observe=self._aggregate_float,
             states=states,
             inboxes=inboxes,
-            iterations=iterations,
             phases=phases,
         )
 
+    def finish_float(self, loop: RoundLoop) -> PlaintextRun:
+        """Package a float-mode loop's current state as a result."""
         return PlaintextRun(
-            aggregate=self._aggregate_float(states),
-            final_states=states,
-            trajectory=trajectory,
-            phases=phases,
+            aggregate=self._aggregate_float(loop.states),
+            final_states=loop.states,
+            trajectory=loop.trajectory,
+            phases=loop.phases,
         )
+
+    def run_float(self, graph: DistributedGraph, iterations: int) -> PlaintextRun:
+        """Reference execution over floats."""
+        loop = self.start_float(graph, PhaseTimer())
+        loop.advance(iterations)
+        return self.finish_float(loop)
 
     def _aggregate_float(self, states: Dict[int, Dict[str, float]]) -> float:
         register = self.program.aggregate_register
@@ -117,17 +125,13 @@ class PlaintextEngine:
 
     # -- fixed-point circuit mode --------------------------------------------------
 
-    def run_fixed(self, graph: DistributedGraph, iterations: int) -> PlaintextRun:
-        """Clear evaluation of the MPC circuits — the secure-engine oracle.
-
-        Aggregate and states are reported in decoded (real-valued) units;
-        the raw aggregate is an exact sum of raw registers, mirroring the
-        aggregation circuit.
-        """
+    def start_fixed(
+        self, graph: DistributedGraph, phases: Optional[PhaseTimer] = None
+    ) -> RoundLoop:
+        """Initialize a resumable fixed-point circuit round loop."""
         program = self.program
         fmt = program.fmt
         degree_bound = graph.degree_bound
-        phases = PhaseTimer()
         with timed_phase(phases, "initialization"):
             circuit = program.build_update_circuit(degree_bound)
             registers = program.state_registers(degree_bound)
@@ -148,8 +152,7 @@ class PlaintextEngine:
             inboxes: Dict[int, List[int]] = {
                 v: [raw_no_op] * degree_bound for v in graph.vertex_ids
             }
-
-        raw_states, trajectory = run_rounds(
+        return RoundLoop(
             superstep=sequential_superstep(
                 graph.vertex_ids,
                 lambda _vid, state, messages: program.circuit_update(
@@ -162,19 +165,32 @@ class PlaintextEngine:
             observe=self._aggregate_raw,
             states=raw_states,
             inboxes=inboxes,
-            iterations=iterations,
             phases=phases,
         )
 
+    def finish_fixed(self, loop: RoundLoop) -> PlaintextRun:
+        """Package a fixed-mode loop's current state as a result."""
+        program = self.program
         return PlaintextRun(
-            aggregate=self._aggregate_raw(raw_states),
+            aggregate=self._aggregate_raw(loop.states),
             final_states={
                 vertex_id: program.decode_state(raw)
-                for vertex_id, raw in raw_states.items()
+                for vertex_id, raw in loop.states.items()
             },
-            trajectory=trajectory,
-            phases=phases,
+            trajectory=loop.trajectory,
+            phases=loop.phases,
         )
+
+    def run_fixed(self, graph: DistributedGraph, iterations: int) -> PlaintextRun:
+        """Clear evaluation of the MPC circuits — the secure-engine oracle.
+
+        Aggregate and states are reported in decoded (real-valued) units;
+        the raw aggregate is an exact sum of raw registers, mirroring the
+        aggregation circuit.
+        """
+        loop = self.start_fixed(graph, PhaseTimer())
+        loop.advance(iterations)
+        return self.finish_fixed(loop)
 
     def _aggregate_raw(self, raw_states: Dict[int, Dict[str, int]]) -> float:
         register = self.program.aggregate_register

@@ -51,6 +51,7 @@ __all__ = [
     "run_rounds_async",
     "route_messages",
     "sequential_superstep",
+    "RoundLoop",
     "SecureRoundScheduler",
 ]
 
@@ -75,12 +76,28 @@ def run_rounds(
     inboxes: Dict[int, List[M]],
     iterations: int,
     phases: Optional[PhaseTimer] = None,
-) -> Tuple[Dict[int, S], List[float]]:
-    """Drive the §3.6 schedule and return (final states, trajectory).
+    *,
+    first_round: int = 0,
+    resume_outboxes: Optional[Dict[int, List[M]]] = None,
+) -> Tuple[Dict[int, S], List[float], Dict[int, List[M]]]:
+    """Drive the §3.6 schedule; return (final states, trajectory, outboxes).
 
     ``iterations`` computation+communication rounds, then one final
-    computation step whose outgoing messages are discarded — exactly the
-    shape both plaintext modes always had, now shared by every backend.
+    computation step — exactly the shape both plaintext modes always had,
+    now shared by every backend. The final step's outgoing messages are
+    returned (not routed): a one-shot run discards them, a windowed run
+    hands them back as ``resume_outboxes`` to continue the very same
+    schedule across release windows.
+
+    Resumption contract: calling once with ``iterations=a+b`` is
+    step-for-step identical to calling with ``iterations=a``, then again
+    with ``iterations=b``, ``resume_outboxes=`` the first call's returned
+    outboxes and ``first_round=a+1``. The resumed call first routes the
+    pending outboxes (the communication half of computation step ``a``,
+    spanned as round ``first_round - 1``), then runs ``b - 1`` full
+    rounds and the final computation step — so supersteps see the same
+    inputs in the same order and the trajectory/final states concatenate
+    bit-identically.
 
     ``phases`` (optional) accumulates per-phase wall-clock through the
     shared :func:`~repro.obs.trace.timed_phase` path — the same recorder
@@ -92,18 +109,31 @@ def run_rounds(
         raise ConfigurationError("iteration count cannot be negative")
     recorder = current_recorder()
     trajectory: List[float] = []
-    for round_index in range(iterations):
+    round_index = first_round
+    if resume_outboxes is not None:
+        if iterations < 1:
+            raise ConfigurationError(
+                "a resumed window needs at least one computation step"
+            )
+        with recorder.span("round", round=round_index - 1):
+            with timed_phase(phases, "communication"):
+                inboxes = route(resume_outboxes)
+        remaining = iterations - 1
+    else:
+        remaining = iterations
+    for _ in range(remaining):
         with recorder.span("round", round=round_index):
             with timed_phase(phases, "computation"):
                 states, outboxes = superstep(states, inboxes)
             with timed_phase(phases, "communication"):
                 inboxes = route(outboxes)
         trajectory.append(observe(states))
-    with recorder.span("round", round=iterations):
+        round_index += 1
+    with recorder.span("round", round=round_index):
         with timed_phase(phases, "computation"):
-            states, _ = superstep(states, inboxes)
+            states, final_outboxes = superstep(states, inboxes)
     trajectory.append(observe(states))
-    return states, trajectory
+    return states, trajectory, final_outboxes
 
 
 def route_messages(
@@ -153,6 +183,66 @@ def sequential_superstep(
     return superstep
 
 
+class RoundLoop:
+    """A resumable handle over :func:`run_rounds`.
+
+    Owns the (states, inboxes, pending outboxes) triple between windows so
+    a release policy can interleave aggregate/noise/release stages with
+    the round schedule without the engine re-deriving resumption state.
+    ``advance(n)`` runs ``n`` more computation steps and returns the new
+    trajectory entries; span numbering continues exactly where the
+    previous window stopped, so a windowed run's trace is the one-shot
+    trace with extra release stages in between.
+    """
+
+    def __init__(
+        self,
+        superstep: Superstep,
+        route: Callable[[Dict[int, List[M]]], Dict[int, List[M]]],
+        observe: Callable[[Dict[int, S]], float],
+        states: Dict[int, S],
+        inboxes: Dict[int, List[M]],
+        phases: Optional[PhaseTimer] = None,
+    ) -> None:
+        self.superstep = superstep
+        self.route = route
+        self.observe = observe
+        self.states = states
+        self.inboxes = inboxes
+        self.phases = phases
+        self.steps = 0
+        self.pending: Optional[Dict[int, List[M]]] = None
+        self.trajectory: List[float] = []
+
+    def advance(self, rounds: int) -> List[float]:
+        """Run ``rounds`` more computation steps; return their trajectory."""
+        if self.pending is None:
+            self.states, trajectory, self.pending = run_rounds(
+                self.superstep,
+                self.route,
+                self.observe,
+                self.states,
+                self.inboxes,
+                rounds,
+                phases=self.phases,
+            )
+        else:
+            self.states, trajectory, self.pending = run_rounds(
+                self.superstep,
+                self.route,
+                self.observe,
+                self.states,
+                self.inboxes,
+                rounds,
+                phases=self.phases,
+                first_round=self.steps + 1,
+                resume_outboxes=self.pending,
+            )
+        self.steps += rounds
+        self.trajectory.extend(trajectory)
+        return trajectory
+
+
 async def run_rounds_async(
     graph: DistributedGraph,
     update: Callable[[int, S, List[M]], Tuple[S, List[M]]],
@@ -165,8 +255,19 @@ async def run_rounds_async(
     max_tasks: Optional[int] = None,
     overlap: bool = True,
     phases: Optional[PhaseTimer] = None,
-) -> Tuple[Dict[int, S], List[float]]:
+    first_round: int = 0,
+    resume_outboxes: Optional[Dict[int, List[M]]] = None,
+) -> Tuple[Dict[int, S], List[float], Dict[int, List[M]]]:
     """The §3.6 schedule as per-vertex pipelines over a transport.
+
+    Returns ``(final_states, trajectory, final_outboxes)`` with the same
+    resumption contract as :func:`run_rounds`: pass the previous window's
+    ``final_outboxes`` back as ``resume_outboxes`` (with ``first_round``
+    set to the steps already taken plus one) to continue the schedule
+    across release windows. The pending outboxes are routed synchronously
+    through :meth:`~repro.core.transport.Transport.deliver_outboxes`
+    before the per-vertex pipelines start — the §3.6 step boundary at a
+    window edge is a full barrier anyway, so nothing is lost to overlap.
 
     Each vertex runs its own task: compute round ``r``, push the round's
     out-edge messages onto the bus, then await its complete round-``r``
@@ -209,6 +310,20 @@ async def run_rounds_async(
     recorder = current_recorder()
     vertex_ids = graph.vertex_ids
     transport.open(graph, fill)
+    if resume_outboxes is not None:
+        if iterations < 1:
+            raise ConfigurationError(
+                "a resumed window needs at least one computation step"
+            )
+        # the communication half of the previous window's last computation
+        # step: a full barrier sits at the window edge anyway, so routing
+        # it synchronously loses no overlap
+        with recorder.span("round", round=first_round - 1):
+            with timed_phase(phases, "communication"):
+                inboxes = transport.deliver_outboxes(graph, resume_outboxes, fill)
+        full_rounds = iterations - 1
+    else:
+        full_rounds = iterations
     # (out_slot -> (dst, in_slot)) per vertex, precomputed once: senders
     # resolve the destination slot, the transport only moves payloads.
     routes: Dict[int, List[Tuple[int, int]]] = {
@@ -226,9 +341,10 @@ async def run_rounds_async(
     # the fastest pipeline runs ahead of the slowest (O(vertices) when
     # progress is balanced; a source vertex with no in-edges can race
     # ahead and retain one entry per round it leads by).
-    round_states: List[Dict[int, S]] = [{} for _ in range(iterations + 1)]
+    round_states: List[Dict[int, S]] = [{} for _ in range(full_rounds + 1)]
     num_vertices = len(vertex_ids)
     trajectory: List[float] = []
+    final_outboxes: Dict[int, List[M]] = {}
 
     def record(round_index: int, vid: int, state: S) -> None:
         # snapshot, don't alias: observation is deferred until the whole
@@ -240,10 +356,10 @@ async def run_rounds_async(
         # every engine uses.
         round_states[round_index][vid] = copy.copy(state)
         next_round = len(trajectory)
-        while next_round <= iterations and len(round_states[next_round]) == num_vertices:
+        while next_round <= full_rounds and len(round_states[next_round]) == num_vertices:
             per_round = round_states[next_round]
             trajectory.append(observe({v: per_round[v] for v in vertex_ids}))
-            if next_round < iterations:  # the final round backs final_states
+            if next_round < full_rounds:  # the final round backs final_states
                 round_states[next_round] = {}
             next_round += 1
 
@@ -253,8 +369,8 @@ async def run_rounds_async(
         async def vertex_pipeline(vid: int) -> None:
             state = states[vid]
             inbox = inboxes[vid]
-            for round_index in range(iterations):
-                with recorder.span("round", round=round_index, vertex=vid):
+            for round_index in range(full_rounds):
+                with recorder.span("round", round=first_round + round_index, vertex=vid):
                     if gate is not None:
                         async with gate:
                             # the yield makes the gate real: the holder
@@ -275,10 +391,10 @@ async def run_rounds_async(
                         if sends:
                             await asyncio.gather(*sends)
                         inbox = await transport.gather_round(vid, round_index)
-            with recorder.span("round", round=iterations, vertex=vid):
+            with recorder.span("round", round=first_round + full_rounds, vertex=vid):
                 with timed_phase(phases, "computation"):
-                    state, _ = update(vid, state, inbox)
-                record(iterations, vid, state)
+                    state, final_outboxes[vid] = update(vid, state, inbox)
+                record(full_rounds, vid, state)
 
         # first failure cancels the siblings: a transport fault (dropped
         # delivery, dead peer) raises in one pipeline while the others are
@@ -298,8 +414,8 @@ async def run_rounds_async(
         # overlap anywhere, so wall-clock pays the full sum of link delays.
         current = dict(states)
         current_inboxes = dict(inboxes)
-        for round_index in range(iterations):
-            with recorder.span("round", round=round_index):
+        for round_index in range(full_rounds):
+            with recorder.span("round", round=first_round + round_index):
                 outboxes: Dict[int, List[M]] = {}
                 with timed_phase(phases, "computation"):
                     for vid in vertex_ids:
@@ -317,14 +433,16 @@ async def run_rounds_async(
                         current_inboxes[vid] = await transport.gather_round(
                             vid, round_index
                         )
-        with recorder.span("round", round=iterations):
+        with recorder.span("round", round=first_round + full_rounds):
             with timed_phase(phases, "computation"):
                 for vid in vertex_ids:
-                    current[vid], _ = update(vid, current[vid], current_inboxes[vid])
-                    record(iterations, vid, current[vid])
+                    current[vid], final_outboxes[vid] = update(
+                        vid, current[vid], current_inboxes[vid]
+                    )
+                    record(full_rounds, vid, current[vid])
 
-    final_states = {vid: round_states[iterations][vid] for vid in vertex_ids}
-    return final_states, trajectory
+    final_states = {vid: round_states[full_rounds][vid] for vid in vertex_ids}
+    return final_states, trajectory, final_outboxes
 
 
 class SecureRoundScheduler:

@@ -43,7 +43,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.aggregation import AggregationPlan, plan_groups, reshare_word
 from repro.core.config import DStressConfig
-from repro.core.convergence import DEFAULT_TOLERANCE, convergence_index
+from repro.core.convergence import TrajectoryConvergence
 from repro.core.graph import DistributedGraph
 from repro.core.node import SimulatedNode
 from repro.core.program import NO_OP_MESSAGE, VertexProgram
@@ -85,7 +85,7 @@ def _record_link(
 
 
 @dataclass
-class SecureRunResult:
+class SecureRunResult(TrajectoryConvergence):
     """Everything a DStress run produces.
 
     ``noisy_output`` is the only value a real deployment would release.
@@ -118,11 +118,6 @@ class SecureRunResult:
     def mean_traffic_per_node(self) -> float:
         return self.traffic.mean_node_total_bytes()
 
-    def converged_at(self, tolerance: float = DEFAULT_TOLERANCE) -> Optional[int]:
-        """Smallest iteration count after which the (simulation-only)
-        pre-noise aggregate stopped moving by more than ``tolerance``."""
-        return convergence_index(self.trajectory, tolerance)
-
 
 @dataclass
 class _RunContext:
@@ -151,6 +146,10 @@ class _RunContext:
     trajectory: List[float] = field(default_factory=list)
     total_ots: int = 0
     transfer_count: int = 0
+    #: Computation steps executed so far. Lets a windowed run resume the
+    #: §3.6 schedule exactly where the previous window stopped (the round
+    #: span numbering continues, so the transcript order is unchanged).
+    steps: int = 0
 
 
 class SecureEngine:
@@ -204,25 +203,8 @@ class SecureEngine:
         roughly its size class, which the paper notes is acceptable — in
         exchange for much cheaper MPC steps at low-degree vertices.
         """
-        recorder = current_recorder()
         ctx = self._begin_run(graph, iterations, accountant, bucket_bounds)
-        for _step in range(iterations):
-            with recorder.span("round", round=_step):
-                with timed_phase(ctx.phases, "computation"):
-                    for _batch in self._computation_blocks(ctx):
-                        pass
-                ctx.trajectory.append(
-                    self._simulated_aggregate(graph, ctx.state_shares)
-                )
-                with timed_phase(ctx.phases, "communication"):
-                    for _batch in self._communication_transfers(ctx):
-                        pass
-        # Final computation step (§3.6).
-        with recorder.span("round", round=iterations):
-            with timed_phase(ctx.phases, "computation"):
-                for _batch in self._computation_blocks(ctx):
-                    pass
-        ctx.trajectory.append(self._simulated_aggregate(graph, ctx.state_shares))
+        self._window_sync(ctx, iterations, first=True)
         return self._finish_run(ctx)
 
     async def run_async(
@@ -248,10 +230,75 @@ class SecureEngine:
         """
         transport.open(graph, fill=None)
         scheduler = SecureRoundScheduler(transport, max_tasks=max_tasks, overlap=overlap)
-        recorder = current_recorder()
         ctx = self._begin_run(graph, iterations, accountant, bucket_bounds)
+        await self._window_async(ctx, scheduler, iterations, first=True)
+        return self._finish_run(ctx)
+
+    # ------------------------------------------------------------ windows --
+
+    def _window_sync(self, ctx: _RunContext, rounds: int, first: bool) -> None:
+        """Advance the §3.6 schedule by ``rounds`` computation steps.
+
+        A fresh window runs ``rounds`` full (computation + communication)
+        steps plus the final computation step. A resumed window first runs
+        the communication step the previous window's final computation
+        left pending, so the windowed schedule's crypto order — and hence
+        the transcript — is bit-identical to one uninterrupted run of the
+        same total length. Round span numbering continues across windows.
+        """
+        recorder = current_recorder()
+        graph = ctx.graph
+        base = ctx.steps
+        if not first:
+            if rounds < 1:
+                raise ConfigurationError(
+                    "a resumed window needs at least one computation step"
+                )
+            with recorder.span("round", round=base - 1):
+                with timed_phase(ctx.phases, "communication"):
+                    for _batch in self._communication_transfers(ctx):
+                        pass
+        full = rounds if first else rounds - 1
+        for index in range(full):
+            with recorder.span("round", round=base + index):
+                with timed_phase(ctx.phases, "computation"):
+                    for _batch in self._computation_blocks(ctx):
+                        pass
+                ctx.trajectory.append(
+                    self._simulated_aggregate(graph, ctx.state_shares)
+                )
+                with timed_phase(ctx.phases, "communication"):
+                    for _batch in self._communication_transfers(ctx):
+                        pass
+        # Final computation step (§3.6).
+        with recorder.span("round", round=base + full):
+            with timed_phase(ctx.phases, "computation"):
+                for _batch in self._computation_blocks(ctx):
+                    pass
+        ctx.trajectory.append(self._simulated_aggregate(graph, ctx.state_shares))
+        ctx.steps = base + full + 1
+
+    async def _window_async(
+        self, ctx: _RunContext, scheduler: SecureRoundScheduler, rounds: int, first: bool
+    ) -> None:
+        """:meth:`_window_sync` with batches dispatched over the bus."""
+        recorder = current_recorder()
+        graph = ctx.graph
+        base = ctx.steps
         try:
-            for step in range(iterations):
+            if not first:
+                if rounds < 1:
+                    raise ConfigurationError(
+                        "a resumed window needs at least one computation step"
+                    )
+                with recorder.span("round", round=base - 1):
+                    with timed_phase(ctx.phases, "communication"):
+                        for batch in self._communication_transfers(ctx):
+                            await scheduler.dispatch(batch, base - 1, kind="transfer")
+                        await scheduler.barrier()
+            full = rounds if first else rounds - 1
+            for index in range(full):
+                step = base + index
                 with recorder.span("round", round=step):
                     with timed_phase(ctx.phases, "computation"):
                         for batch in self._computation_blocks(ctx):
@@ -265,10 +312,10 @@ class SecureEngine:
                             await scheduler.dispatch(batch, step, kind="transfer")
                         await scheduler.barrier()
             # Final computation step (§3.6).
-            with recorder.span("round", round=iterations):
+            with recorder.span("round", round=base + full):
                 with timed_phase(ctx.phases, "computation"):
                     for batch in self._computation_blocks(ctx):
-                        await scheduler.dispatch(batch, iterations, kind="ot")
+                        await scheduler.dispatch(batch, base + full, kind="ot")
                     await scheduler.barrier()
         except BaseException:
             # unwinding past in-flight deliveries would leak their tasks
@@ -277,7 +324,7 @@ class SecureEngine:
             await scheduler.drain()
             raise
         ctx.trajectory.append(self._simulated_aggregate(graph, ctx.state_shares))
-        return self._finish_run(ctx)
+        ctx.steps = base + full + 1
 
     # --------------------------------------------------------- run phases --
 
@@ -287,9 +334,15 @@ class SecureEngine:
         iterations: int,
         accountant: Optional[PrivacyAccountant],
         bucket_bounds: Optional[List[int]],
+        phases: Optional[PhaseTimer] = None,
     ) -> _RunContext:
         """Setup + initialization (§3.4, §3.6 init): everything before the
-        first computation step, identical for both drivers."""
+        first computation step, identical for both drivers.
+
+        ``phases`` lets a lifecycle driver share one timer between its
+        stage timings and the engine's fine-grained phases; direct callers
+        get a fresh one.
+        """
         config = self.config
         program = self.program
         fmt = program.fmt
@@ -297,7 +350,7 @@ class SecureEngine:
         word_bytes = (bits + 7) / 8.0
         rng = DeterministicRNG(config.seed)
         meter = TrafficMeter()
-        phases = PhaseTimer()
+        phases = phases if phases is not None else PhaseTimer()
         vertex_bound = self._assign_buckets(graph, bucket_bounds)
 
         if accountant is not None:
@@ -426,14 +479,17 @@ class SecureEngine:
     def _finish_run(self, ctx: _RunContext) -> SecureRunResult:
         """Aggregation + noising + result assembly, identical for both
         drivers (the aggregation tree is one final phase, not a round)."""
+        with timed_phase(ctx.phases, "aggregation"):
+            noisy_raw, pre_noise_raw, levels = self._aggregate_and_noise(ctx)
+        return self._assemble_result(ctx, noisy_raw, pre_noise_raw, levels)
+
+    def _assemble_result(
+        self, ctx: _RunContext, noisy_raw: int, pre_noise_raw: int, levels: int
+    ) -> SecureRunResult:
+        """Wrap a finished context and its last release into the result."""
         config = self.config
         fmt = self.program.fmt
         bits = fmt.total_bits
-        with timed_phase(ctx.phases, "aggregation"):
-            noisy_raw, pre_noise_raw, levels = self._aggregate_and_noise(
-                ctx.graph, ctx.gmw, ctx.state_shares, ctx.assignment, ctx.meter, ctx.rng
-            )
-
         edge_eps = None
         if config.edge_noise_alpha is not None:
             delta = transfer_sensitivity(config.collusion_bound)
@@ -733,20 +789,36 @@ class SecureEngine:
     # -------------------------------------------------------- aggregation --
 
     def _aggregate_and_noise(
-        self,
-        graph: DistributedGraph,
-        gmw: GMWEngine,
-        state_shares,
-        assignment: BlockAssignment,
-        meter: TrafficMeter,
-        rng: DeterministicRNG,
-    ):
-        """§3.6 aggregation + noising over a (possibly hierarchical) tree."""
+        self, ctx: _RunContext, epsilon: Optional[float] = None
+    ) -> Tuple[int, int, int]:
+        """§3.6 aggregation + noising over a (possibly hierarchical) tree.
+
+        ``epsilon`` overrides the config's ``output_epsilon`` for one
+        release (windowed continual release noises each window at its
+        per-window budget); the default keeps the one-shot calibration.
+        """
+        root_inputs, root_width, levels, pre_noise_raw = self._aggregation_tree(ctx)
+        noised_raw = self._noise_and_reveal(ctx, root_inputs, root_width, epsilon)
+        return noised_raw, pre_noise_raw, levels
+
+    def _aggregation_tree(
+        self, ctx: _RunContext
+    ) -> Tuple[List[List[int]], int, int, int]:
+        """Re-share contribution registers up the aggregation tree.
+
+        Returns the root block's input shares, their bit width, the tree
+        depth, and the simulation-only pre-noise aggregate (raw LSBs).
+        """
+        graph = ctx.graph
+        gmw = ctx.gmw
+        state_shares = ctx.state_shares
+        assignment = ctx.assignment
+        meter = ctx.meter
+        rng = ctx.rng
         config = self.config
         program = self.program
         fmt = program.fmt
         bits = fmt.total_bits
-        block_size = config.block_size
 
         plan = AggregationPlan(
             groups=plan_groups(graph.vertex_ids, config.aggregation_fanout),
@@ -804,9 +876,25 @@ class SecureEngine:
             ]
             root_width = bits
             levels = 1
+        return root_inputs, root_width, levels, pre_noise_raw
 
-        alpha = config.noise_alpha_for(program.sensitivity)
-        magnitude_bits = config.noise_magnitude_bits_for(program.sensitivity)
+    def _noise_and_reveal(
+        self,
+        ctx: _RunContext,
+        root_inputs: List[List[int]],
+        root_width: int,
+        epsilon: Optional[float] = None,
+    ) -> int:
+        """Root-block noised sum: in-MPC geometric sampler, then reveal."""
+        gmw = ctx.gmw
+        meter = ctx.meter
+        rng = ctx.rng
+        config = self.config
+        program = self.program
+        root_members = ctx.assignment.blocks[AGGREGATION_BLOCK_ID]
+
+        alpha = config.noise_alpha_for(program.sensitivity, epsilon)
+        magnitude_bits = config.noise_magnitude_bits_for(program.sensitivity, epsilon)
         root_circuit = build_noised_sum_bits_circuit(
             num_inputs=len(root_inputs),
             value_bits=root_width,
@@ -830,7 +918,7 @@ class SecureEngine:
             for other in root_members:
                 if member != other:
                     meter.record_send(member, other, (out_width + 7) / 8.0)
-        return noised_raw, pre_noise_raw, levels
+        return noised_raw
 
     def _meter_gmw(self, meter: TrafficMeter, members: List[int], result) -> LinkBytes:
         """Attribute a GMW evaluation's wire traffic to the member nodes.

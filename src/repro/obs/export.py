@@ -19,6 +19,7 @@ reproduction is stdlib-only by design.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Any, Dict, List, Optional
 
 RUN_SCHEMA = "dstress.obs.run"
@@ -80,7 +81,7 @@ def export_recorder(recorder: Any) -> Optional[Dict[str, Any]]:
 def export_run(result: Any, recorder: Any = None) -> Dict[str, Any]:
     """One RunResult -> a ``dstress.obs.run`` document."""
     phases = getattr(result, "phases", None)
-    return {
+    doc = {
         "schema": RUN_SCHEMA,
         "version": SCHEMA_VERSION,
         "engine": result.engine,
@@ -97,6 +98,12 @@ def export_run(result: Any, recorder: Any = None) -> Dict[str, Any]:
         "traffic": export_traffic(getattr(result, "traffic", None)),
         "trace": export_recorder(recorder),
     }
+    releases = getattr(result, "releases", None)
+    if releases:
+        # append-only schema extension: per-window release records for
+        # runs driven through the lifecycle's release seam
+        doc["releases"] = [asdict(record) for record in releases]
+    return doc
 
 
 def export_ledger(accountant: Any) -> Optional[Dict[str, Any]]:

@@ -168,19 +168,25 @@ def recording(recorder: Any) -> Iterator[Any]:
 
 
 @contextmanager
-def timed_phase(phases: Any, name: str, **attrs: Any) -> Iterator[None]:
+def timed_phase(
+    phases: Any, name: str, span: bool = True, **attrs: Any
+) -> Iterator[None]:
     """Time a block into ``phases`` (a :class:`PhaseTimer` or ``None``)
     and, when tracing is on, record it as a ``phase`` span too.
 
     This is the one shared code path that fills ``RunResult.phases`` for
     every engine. With ``phases is None`` and tracing off it degenerates
     to a bare ``yield`` — zero clock reads on the disabled path.
+    ``span=False`` keeps the PhaseTimer accounting but suppresses the
+    span — the lifecycle's ``stage:*`` timings use it because a stage
+    envelope span would re-parent the per-round spans engines emit
+    inside it, and the round→run nesting is part of the traced contract.
     """
     recorder = _RECORDER
     if phases is None and not recorder.enabled:
         yield
         return
-    if recorder.enabled:
+    if span and recorder.enabled:
         record = None
         try:
             with recorder.span("phase", phase=name, **attrs) as record:
@@ -190,6 +196,9 @@ def timed_phase(phases: Any, name: str, **attrs: Any) -> Iterator[None]:
             # PhaseTimer and the span agree to the same clock reads
             if phases is not None and record is not None and record.end is not None:
                 phases.add(name, max(0.0, record.end - record.start))
+        return
+    if phases is None:
+        yield
         return
     started = SYSTEM_CLOCK.now()
     try:

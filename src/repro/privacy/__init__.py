@@ -1,5 +1,11 @@
 """Differential privacy: mechanisms, budgets, dollar-DP, edge privacy."""
 
+from repro.privacy.admission import (
+    Precharge,
+    precharge,
+    release_epsilon,
+    release_schedule,
+)
 from repro.privacy.budget import DEFAULT_EPSILON_MAX, BudgetCharge, PrivacyAccountant
 from repro.privacy.dollar import DEFAULT_GRANULARITY_USD, DollarPrivacySpec
 from repro.privacy.edge_privacy import (
@@ -36,6 +42,7 @@ __all__ = [
     "DollarPrivacySpec",
     "EdgePrivacyAnalysis",
     "LaplaceMechanism",
+    "Precharge",
     "PrivacyAccountant",
     "TwoSidedGeometricMechanism",
     "UtilityAnalysis",
@@ -50,6 +57,9 @@ __all__ = [
     "measure_noise_impact",
     "mechanism_alpha",
     "per_iteration_epsilon",
+    "precharge",
+    "release_epsilon",
+    "release_schedule",
     "runs_per_year",
     "total_transfers",
     "transfer_sensitivity",

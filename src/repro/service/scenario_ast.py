@@ -64,6 +64,8 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Unio
 from repro.api.cache import run_fingerprint
 from repro.api.session import ResolvedRun, StressTest
 from repro.core.config import available_presets
+from repro.core.lifecycle import MAX_WINDOWS as LIFECYCLE_MAX_WINDOWS
+from repro.privacy.admission import release_epsilon
 from repro.crypto.rng import DeterministicRNG
 from repro.exceptions import DStressError, ScenarioValidationError
 from repro.finance.network import FinancialNetwork
@@ -175,23 +177,49 @@ def _str_field(*choices: str) -> Callable[[str, Any], str]:
     return lambda where, value: _require_str(where, value, choices)
 
 
+def _require_int_list(
+    where: str, value: Any, lo: int, hi: int, max_length: int
+) -> Tuple[int, ...]:
+    if not isinstance(value, list) or not value:
+        _fail(f"{where} must be a non-empty list of round counts")
+    if len(value) > max_length:
+        _fail(f"{where} holds {len(value)} windows, cap is {max_length}")
+    return tuple(
+        _require_int(f"{where}[{i}]", item, lo, hi) for i, item in enumerate(value)
+    )
+
+
+#: Release-seam options every engine exposes (the lifecycle is shared, so
+#: the whitelist is too): continual release is wire-submittable on any
+#: backend. Cross-field rules (windows must sum to the iteration count)
+#: live in :func:`validate_scenario` — they span sections.
+_RELEASE_OPTIONS = {
+    "release": _str_field("oneshot", "windowed"),
+    "windows": lambda where, value: _require_int_list(
+        where, value, 1, MAX_ITERATIONS, LIFECYCLE_MAX_WINDOWS
+    ),
+    "window_epsilon": _float_field(1e-6, MAX_EPSILON),
+}
+
 _ENGINE_OPTIONS.update(
     {
-        "plaintext": {},
-        "fixed": {},
-        "secure": {"backend": _str_field("scalar", "bitsliced")},
-        "naive-mpc": {},
-        "sharded": {"shards": _int_field(1, 16)},
+        "plaintext": {**_RELEASE_OPTIONS},
+        "fixed": {**_RELEASE_OPTIONS},
+        "secure": {"backend": _str_field("scalar", "bitsliced"), **_RELEASE_OPTIONS},
+        "naive-mpc": {**_RELEASE_OPTIONS},
+        "sharded": {"shards": _int_field(1, 16), **_RELEASE_OPTIONS},
         "async": {
             "tasks": _int_field(1, 64),
             "overlap": lambda where, value: _require_bool(where, value),
             "transport": _str_field("memory", "wan"),
+            **_RELEASE_OPTIONS,
         },
         "secure-async": {
             "tasks": _int_field(1, 64),
             "overlap": lambda where, value: _require_bool(where, value),
             "transport": _str_field("memory", "wan"),
             "backend": _str_field("scalar", "bitsliced"),
+            **_RELEASE_OPTIONS,
         },
     }
 )
@@ -438,6 +466,29 @@ def validate_scenario(doc: Any) -> ValidatedScenario:
     if max_iterations is not None:
         max_iterations = _require_int("max_iterations", max_iterations, 1, MAX_ITERATIONS)
 
+    # Cross-field release-seam rules (the engine constructor re-checks the
+    # intra-option ones; the iteration match spans sections, so the
+    # notary must enforce it before anything resolves or charges).
+    release = engine_options.get("release", "oneshot")
+    if release != "windowed":
+        for key in ("windows", "window_epsilon"):
+            if key in engine_options:
+                _fail(f"engine.options.{key} requires engine.options.release='windowed'")
+    else:
+        if "windows" not in engine_options:
+            _fail("engine.options.release='windowed' needs engine.options.windows")
+        if iterations == "auto":
+            _fail(
+                "release='windowed' needs an explicit 'iterations' count "
+                "matching its windows; 'auto' cannot be split into windows"
+            )
+        total = sum(engine_options["windows"])
+        if total != iterations:
+            _fail(
+                f"engine.options.windows cover {total} rounds but "
+                f"'iterations' is {iterations}; they must match exactly"
+            )
+
     seed = doc.get("seed")
     if seed is not None:
         seed = _require_int("seed", seed, -(2**62), 2**62)
@@ -578,6 +629,16 @@ def notarize(doc: Any) -> NotarizedScenario:
             "run; notarized scenarios must be content-addressable"
         )
     releases = bool(resolved.engine.releases_output)
+    try:
+        # priced by the shared admission authority: a windowed run's cost
+        # is its per-window schedule, not the config's headline epsilon —
+        # and an unchargeable schedule is refused here, before admission
+        epsilon = release_epsilon(resolved.engine, resolved.config) if releases else 0.0
+    except DStressError as exc:
+        raise ScenarioValidationError(
+            f"scenario {validated.name!r} has an unchargeable release "
+            f"schedule: {exc}"
+        ) from exc
     return NotarizedScenario(
         name=validated.name,
         document=canonical_doc,
@@ -586,5 +647,5 @@ def notarize(doc: Any) -> NotarizedScenario:
         fingerprint=fingerprint,
         resolved=resolved,
         releases=releases,
-        epsilon=resolved.config.output_epsilon if releases else 0.0,
+        epsilon=epsilon,
     )

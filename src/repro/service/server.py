@@ -46,6 +46,7 @@ from __future__ import annotations
 import asyncio
 import json
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
 from typing import Any, Dict, Optional
 
 from repro.api.cache import ScenarioCacheBase
@@ -57,6 +58,7 @@ from repro.exceptions import (
     ServiceProtocolError,
 )
 from repro.obs.trace import current_recorder
+from repro.privacy.admission import precharge, release_schedule
 from repro.privacy.budget import PrivacyAccountant
 from repro.service.scenario_ast import NotarizedScenario, notarize
 
@@ -78,7 +80,7 @@ def result_payload(result: Any) -> Dict[str, Any]:
     bit-identical — the same contract :func:`repro.net.cluster` uses for
     cluster summaries.
     """
-    return {
+    payload = {
         "engine": result.engine,
         "program": result.program,
         "aggregate": result.aggregate,
@@ -89,6 +91,13 @@ def result_payload(result: Any) -> Dict[str, Any]:
         "epsilon": result.epsilon,
         "extras": {k: v for k, v in result.extras.items()},
     }
+    releases = getattr(result, "releases", None)
+    if releases:
+        # continual release: the per-window outputs ARE the product — a
+        # windowed submission's client sees every published value, not
+        # just the final one
+        payload["releases"] = [asdict(record) for record in releases]
+    return payload
 
 
 class StressTestService:
@@ -334,13 +343,20 @@ class StressTestService:
                     metrics.inc("service.cache_hits")
                 return self._release_body(notarized, prior, cached=True)
 
-        # Gate 4: admission — atomic pre-charge before scheduling.
+        # Gate 4: admission — atomic pre-charge before scheduling, itemized
+        # (one ledger line per release window) by the shared
+        # repro.privacy.admission authority the engine lifecycle and the
+        # batch layer also charge through.
         charge = None
         if self.accountant is not None and notarized.releases:
             try:
-                charge = self.accountant.charge(
-                    notarized.epsilon,
-                    label=notarized.name,
+                charge = precharge(
+                    self.accountant,
+                    release_schedule(
+                        notarized.resolved.engine,
+                        notarized.resolved.config,
+                        notarized.name,
+                    ),
                     fingerprint=notarized.fingerprint,
                 )
             except PrivacyBudgetExceeded as exc:
@@ -386,12 +402,12 @@ class StressTestService:
                 metrics.inc("service.failed")
             if charge is not None:
                 # the release never happened: the pre-charge goes back
-                self.accountant.refund(charge)
+                charge.refund()
             return self._error_body(type(exc).__name__, str(exc))
         except Exception as exc:  # defensive: report, never hang the waiters
             self.counters["failed"] += 1
             if charge is not None:
-                self.accountant.refund(charge)
+                charge.refund()
             return self._error_body("ServiceError", f"engine crashed: {exc}")
         if self.cache is not None:
             self.cache.store(notarized.fingerprint, result)
